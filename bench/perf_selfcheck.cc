@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: event
+ * throughput, network traversal cost, memory round trips, and kernel
+ * simulation rates. These guard the host-side performance budget that
+ * makes the reproduction benches (which simulate billions of machine
+ * cycles) practical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/cedar.hh"
+
+using namespace cedar;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulation sim;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 1000; ++i)
+            sim.schedule(static_cast<Tick>(i * 7 % 997),
+                         [&fired] { ++fired; });
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_NetworkTraversal(benchmark::State &state)
+{
+    net::OmegaNetwork network("bench.net", {8, 4}, 1, 1);
+    Tick t = 0;
+    unsigned in = 0, out = 0;
+    for (auto _ : state) {
+        auto res = network.traverse(in, out, 1, t);
+        benchmark::DoNotOptimize(res.head_arrival);
+        in = (in + 1) % 32;
+        out = (out + 13) % 32;
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkTraversal);
+
+void
+BM_GlobalMemoryRead(benchmark::State &state)
+{
+    mem::GlobalMemory gm("bench.gm", mem::GlobalMemoryParams{});
+    Tick t = 0;
+    Addr a = mem::globalAddr(0);
+    for (auto _ : state) {
+        auto res = gm.read(static_cast<unsigned>(t % 32), a + t % 4096,
+                           t);
+        benchmark::DoNotOptimize(res.data_at_port);
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GlobalMemoryRead);
+
+void
+BM_SyncOp(benchmark::State &state)
+{
+    mem::GlobalMemory gm("bench.gm", mem::GlobalMemoryParams{});
+    Tick t = 0;
+    Addr a = mem::globalAddr(0);
+    auto op = mem::SyncOp::fetchAndAdd(1);
+    for (auto _ : state) {
+        auto res = gm.sync(static_cast<unsigned>(t % 32), a, op, t);
+        benchmark::DoNotOptimize(res.sync.old_value);
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyncOp);
+
+void
+BM_CacheStream(benchmark::State &state)
+{
+    cluster::ClusterMemory cmem("bench.cmem", {});
+    cluster::SharedCache cache("bench.cache", {}, cmem);
+    Tick t = 0;
+    for (auto _ : state) {
+        auto res = cache.streamAccess((t * 32) % 32768, 32, 1, false, t);
+        benchmark::DoNotOptimize(res.done);
+        t += 4;
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CacheStream);
+
+void
+BM_Rank64Simulation(benchmark::State &state)
+{
+    setLogQuiet(true);
+    double sim_mflops = 0.0;
+    double events = 0.0;
+    double last_flops = 0.0;
+    for (auto _ : state) {
+        machine::CedarMachine machine;
+        kernels::Rank64Params params;
+        params.n = 64;
+        params.clusters = 1;
+        params.version = kernels::Rank64Version::gm_prefetch;
+        auto res = kernels::runRank64(machine, params);
+        last_flops = res.flops;
+        sim_mflops = res.mflopsRate();
+        benchmark::DoNotOptimize(sim_mflops);
+        events = static_cast<double>(machine.sim().eventsExecuted());
+    }
+    char label[96];
+    std::snprintf(label, sizeof(label),
+                  "sim %.3g MFLOPS (%.3g flops), %.0fk events/run",
+                  sim_mflops, last_flops, events / 1000.0);
+    state.SetLabel(label);
+}
+BENCHMARK(BM_Rank64Simulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

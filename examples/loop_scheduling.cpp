@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cedar Fortran loop scheduling, hands on: the same loop nest run as a
+ * flat XDOALL, as an SDOALL/CDOALL hierarchy, and with static
+ * chunking, showing where the runtime costs of Section 3.2 come from
+ * and why the paper's codes care about granularity.
+ *
+ *   $ ./examples/loop_scheduling
+ */
+
+#include <cstdio>
+
+#include "core/cedar.hh"
+
+using namespace cedar;
+
+namespace {
+
+/** A loop body of the given serial cost in cycles. */
+runtime::IterationBody
+body(Cycles cycles)
+{
+    return [cycles](unsigned, unsigned, std::deque<cluster::Op> &out) {
+        out.push_back(cluster::Op::makeScalar(cycles));
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    std::printf("One loop, three schedules (128 iterations, 32 CEs)\n\n");
+    std::printf("%-28s %14s %14s\n", "schedule", "coarse (2ms)",
+                "fine (20us)");
+
+    const Cycles coarse_cycles = microsToTicks(2000.0);
+    const Cycles fine_cycles = microsToTicks(20.0);
+
+    auto run_xdoall = [&](Cycles cycles, runtime::Schedule sched) {
+        machine::CedarMachine machine;
+        runtime::LoopRunner runner(machine);
+        Tick end =
+            runner.xdoall(runner.allCes(), 128, body(cycles), sched);
+        return ticksToMicros(end);
+    };
+    auto run_nest = [&](Cycles cycles) {
+        machine::CedarMachine machine;
+        runtime::LoopRunner runner(machine);
+        Tick end = runner.sdoall(
+            {0, 1, 2, 3}, 4, [&](unsigned, unsigned) {
+                runtime::LoopRunner::SdoallIteration work;
+                work.inner_iters = 32;
+                work.inner_body = body(cycles);
+                return work;
+            });
+        return ticksToMicros(end);
+    };
+
+    std::printf("%-28s %11.0f us %11.0f us\n",
+                "XDOALL self-scheduled",
+                run_xdoall(coarse_cycles,
+                           runtime::Schedule::self_scheduled),
+                run_xdoall(fine_cycles,
+                           runtime::Schedule::self_scheduled));
+    std::printf("%-28s %11.0f us %11.0f us\n", "XDOALL static",
+                run_xdoall(coarse_cycles,
+                           runtime::Schedule::static_chunked),
+                run_xdoall(fine_cycles,
+                           runtime::Schedule::static_chunked));
+    std::printf("%-28s %11.0f us %11.0f us\n", "SDOALL/CDOALL nest",
+                run_nest(coarse_cycles), run_nest(fine_cycles));
+
+    std::printf("\nideal serial/32: coarse %.0f us, fine %.0f us\n",
+                128.0 * 2000.0 / 32.0, 128.0 * 20.0 / 32.0);
+    std::printf(
+        "\nreading: the flat XDOALL pays ~90 us startup plus ~30 us\n"
+        "per self-scheduled fetch through global memory, which swamps\n"
+        "fine-grained loops; the SDOALL/CDOALL nest dispatches inner\n"
+        "iterations over the concurrency control bus in a few cycles —\n"
+        "this is exactly why DYFESM and OCEAN need Cedar\n"
+        "synchronization and hierarchical control (Sections 3.2, 4.2).\n");
+
+    // Show the no-Cedar-sync ablation on the fine-grained case.
+    {
+        machine::CedarMachine machine;
+        runtime::RuntimeParams params;
+        params.use_cedar_sync = false;
+        runtime::LoopRunner runner(machine, params);
+        Tick end = runner.xdoall(runner.allCes(), 128, body(fine_cycles));
+        std::printf("\nXDOALL fine-grained without Cedar sync "
+                    "(Test-And-Set locks): %.0f us\n",
+                    ticksToMicros(end));
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Example: the performance-monitoring view. Runs the same kernel under
+ * increasing load and prints the full machine report each time — the
+ * workflow the CSRD group used their hardware monitors for, watching
+ * contention appear in the memory system as clusters join.
+ *
+ *   $ ./examples/machine_inspector
+ */
+
+#include <cstdio>
+
+#include "core/cedar.hh"
+#include "core/machine_report.hh"
+
+using namespace cedar;
+
+int
+main()
+{
+    setLogQuiet(true);
+    for (unsigned clusters : {1u, 4u}) {
+        machine::CedarMachine machine;
+        kernels::Rank64Params params;
+        params.n = 256;
+        params.clusters = clusters;
+        params.version = kernels::Rank64Version::gm_prefetch;
+        auto res = kernels::runRank64(machine, params);
+
+        std::printf("\n################ %u cluster%s, %.1f MFLOPS "
+                    "################\n",
+                    clusters, clusters == 1 ? "" : "s",
+                    res.mflopsRate());
+        auto snap = core::snapshot(machine);
+        std::fputs(core::renderReport(snap).c_str(), stdout);
+    }
+    std::printf("\nreading: at one cluster the modules barely wait; at "
+                "four the conflict counters\nand queueing means show "
+                "the saturation that flattens Table 1's GM/pref row.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Example: a per-code deep dive into the Perfect workload models.
+ * Pass a code name (default DYFESM) to see its structural profile,
+ * all six restructuring levels, and which Section 3.3 transformations
+ * it depends on.
+ *
+ *   $ ./examples/perfect_report TRFD
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/cedar.hh"
+#include "perfect/restructure.hh"
+
+using namespace cedar;
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    std::string name = argc > 1 ? argv[1] : "DYFESM";
+    const auto &profile = perfect::perfectCode(name);
+    perfect::PerfectModel model;
+
+    std::printf("Perfect code %s\n", profile.name.c_str());
+    std::printf("================%s\n\n",
+                std::string(profile.name.size(), '=').c_str());
+
+    std::printf("structural profile:\n");
+    std::printf("  serial time %.0f s (of which %.0f s I/O), %.2e "
+                "flops\n",
+                profile.serial_seconds, profile.io_seconds,
+                profile.flopCount());
+    std::printf("  vector gain %.1fx, usable processors %u, loop body "
+                "~%.0f us, %g loop nests\n",
+                profile.vector_gain, profile.usable_processors,
+                profile.loop_body_us, profile.parallel_loops);
+    std::printf("  data placement: %.0f%% loop-local, %.0f%% scalar "
+                "global, %.0f%% vector global\n",
+                100 * profile.local_fraction,
+                100 * profile.scalar_fraction,
+                100 * profile.globalVectorFraction());
+    if (profile.barriers > 0)
+        std::printf("  %g multicluster barrier episodes per run\n",
+                    profile.barriers);
+
+    std::printf("\nrestructuring levels:\n");
+    core::TableWriter table({"level", "time s", "MFLOPS", "speedup",
+                             "band @32"});
+    for (auto level :
+         {perfect::Level::serial, perfect::Level::kap,
+          perfect::Level::automatable,
+          perfect::Level::automatable_nosync,
+          perfect::Level::automatable_nopref, perfect::Level::hand}) {
+        auto r = model.evaluate(profile, level);
+        table.row({perfect::levelName(level), core::fmt(r.seconds, 1),
+                   core::fmt(r.mflops, 2), core::fmt(r.speedup),
+                   method::bandName(method::classify(r.speedup, 32))});
+    }
+    table.print();
+
+    std::printf("\ntransformations needed (share of the KAP-to-"
+                "automatable gap):\n");
+    for (const auto &use : perfect::transformationsFor(profile.name)) {
+        std::printf("  %-28s %.0f%%  %s\n",
+                    perfect::transformationName(use.transformation),
+                    100 * use.weight,
+                    perfect::requiresAdvancedAnalysis(use.transformation)
+                        ? "(needs advanced analysis)"
+                        : "");
+        std::printf("      %s\n",
+                    perfect::transformationDescription(
+                        use.transformation));
+    }
+    return 0;
+}

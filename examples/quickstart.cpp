@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: build the standard Cedar machine, run one kernel, and
+ * look at what the memory system did.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/cedar.hh"
+
+using namespace cedar;
+
+int
+main()
+{
+    // The standard machine: four Alliant FX/8 clusters (32 CEs),
+    // two omega networks, 32 interleaved global memory modules.
+    machine::CedarMachine machine;
+    std::printf("built %s: %u clusters x %u CEs, peak %.0f MFLOPS "
+                "(%.0f effective)\n",
+                machine.name().c_str(), machine.numClusters(),
+                machine.config().cluster.num_ces,
+                machine.config().peakMflops(),
+                machine.config().effectivePeakMflops());
+
+    // Run the paper's rank-64 update with prefetching on two clusters.
+    kernels::Rank64Params params;
+    params.n = 256;
+    params.clusters = 2;
+    params.version = kernels::Rank64Version::gm_prefetch;
+    auto result = kernels::runRank64(machine, params);
+
+    std::printf("\nrank-64 update, %s, n=%u on %u clusters:\n",
+                kernels::rank64VersionName(params.version), params.n,
+                params.clusters);
+    std::printf("  %.2e flops in %.3f ms of machine time -> %.1f "
+                "MFLOPS\n",
+                result.flops, result.seconds() * 1e3,
+                result.mflopsRate());
+    std::printf("  prefetch latency: mean %.1f cycles (hardware "
+                "minimum 8)\n",
+                result.mean_latency);
+    std::printf("  global requests: %llu\n",
+                static_cast<unsigned long long>(result.requests));
+
+    // Peek at the memory system.
+    auto &gm = machine.gm();
+    std::printf("\nglobal memory: %llu reads, %llu writes, %llu sync "
+                "ops\n",
+                static_cast<unsigned long long>(gm.readCount()),
+                static_cast<unsigned long long>(gm.writeCount()),
+                static_cast<unsigned long long>(gm.syncCount()));
+    std::printf("mean read round trip at the ports: %.1f cycles\n",
+                gm.readLatencyStat().mean());
+    std::printf("simulator executed %llu events\n",
+                static_cast<unsigned long long>(
+                    machine.sim().eventsExecuted()));
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The Alliant concurrency control bus.
+ *
+ * Every CE in a cluster connects to a dedicated bus that implements fast
+ * fork, join, and synchronization for parallel loops. "Concurrent
+ * start" is a single instruction that spreads the iterations of a loop
+ * from one CE to all eight by broadcasting the program counter and
+ * setting up private stacks — the cluster is gang-scheduled, after which
+ * CEs self-schedule iterations among themselves over the bus.
+ */
+
+#ifndef CEDARSIM_CLUSTER_CCBUS_HH
+#define CEDARSIM_CLUSTER_CCBUS_HH
+
+#include <functional>
+#include <vector>
+
+#include "net/port.hh"
+#include "sim/engine.hh"
+#include "sim/named.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cedar::cluster {
+
+/** Timing parameters for the concurrency control bus. */
+struct CcBusParams
+{
+    /** Cycles for the concurrent-start broadcast (gang fork). */
+    Cycles concurrent_start_cycles = 12;
+    /** Bus occupancy per self-scheduled iteration grant. */
+    Cycles dispatch_cycles = 2;
+    /** Cycles to complete a join once the last CE arrives. */
+    Cycles join_cycles = 4;
+};
+
+/**
+ * An intracluster barrier managed by the bus. Participants call
+ * arrive(); when the last one does, every callback fires join_cycles
+ * later.
+ */
+class CcBarrier
+{
+  public:
+    CcBarrier(Simulation &sim, unsigned participants, Cycles join_cycles)
+        : _sim(sim), _participants(participants),
+          _join_cycles(join_cycles)
+    {
+        sim_assert(participants > 0, "barrier needs participants");
+    }
+
+    /** Register arrival at @p now; @p resume runs when all have arrived. */
+    void
+    arrive(Tick now, std::function<void(Tick)> resume)
+    {
+        _waiters.push_back(std::move(resume));
+        _latest = std::max(_latest, now);
+        if (_waiters.size() == _participants) {
+            Tick release = _latest + _join_cycles;
+            auto waiters = std::move(_waiters);
+            _waiters.clear();
+            _latest = 0;
+            for (auto &w : waiters) {
+                _sim.schedule(release,
+                              [w = std::move(w), release] { w(release); });
+            }
+        }
+    }
+
+    /** Number of CEs currently waiting. */
+    std::size_t waiting() const { return _waiters.size(); }
+
+  private:
+    Simulation &_sim;
+    unsigned _participants;
+    Cycles _join_cycles;
+    Tick _latest = 0;
+    std::vector<std::function<void(Tick)>> _waiters;
+};
+
+/** The per-cluster concurrency control bus. */
+class ConcurrencyControlBus : public Named
+{
+  public:
+    ConcurrencyControlBus(const std::string &name, Simulation &sim,
+                          unsigned num_ces, const CcBusParams &params)
+        : Named(name), _sim(sim), _num_ces(num_ces), _params(params),
+          _bus(1)
+    {
+    }
+
+    /**
+     * Cost of the concurrent-start broadcast: the gang is running at
+     * the returned tick.
+     */
+    Tick
+    concurrentStart(Tick now)
+    {
+        _starts.inc();
+        return now + _params.concurrent_start_cycles;
+    }
+
+    /**
+     * Serialize an iteration-grant on the bus.
+     * @return tick at which the requesting CE holds its iteration
+     */
+    Tick
+    dispatch(Tick now)
+    {
+        _dispatches.inc();
+        Tick start = _bus.acquire(now, 1);
+        return start + _params.dispatch_cycles;
+    }
+
+    /** Create a barrier over @p participants CEs of this cluster. */
+    CcBarrier
+    makeBarrier(unsigned participants)
+    {
+        return CcBarrier(_sim, participants, _params.join_cycles);
+    }
+
+    unsigned numCes() const { return _num_ces; }
+    const CcBusParams &params() const { return _params; }
+    std::uint64_t startCount() const { return _starts.value(); }
+    std::uint64_t dispatchCount() const { return _dispatches.value(); }
+
+    void
+    resetStats()
+    {
+        _starts.reset();
+        _dispatches.reset();
+        _bus.resetStats();
+    }
+
+  private:
+    Simulation &_sim;
+    unsigned _num_ces;
+    CcBusParams _params;
+    net::LinkPort _bus;
+    Counter _starts;
+    Counter _dispatches;
+};
+
+} // namespace cedar::cluster
+
+#endif // CEDARSIM_CLUSTER_CCBUS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cluster assembly.
+ */
+
+#include "cluster.hh"
+
+namespace cedar::cluster {
+
+Cluster::Cluster(const std::string &name, Simulation &sim,
+                 mem::GlobalMemory &gm, unsigned first_port,
+                 const ClusterParams &params)
+    : Named(name), _sim(sim), _params(params)
+{
+    sim_assert(_params.num_ces > 0, "cluster needs at least one CE");
+    _cmem = std::make_unique<ClusterMemory>(child("cmem"), _params.cmem);
+    _cache =
+        std::make_unique<SharedCache>(child("cache"), _params.cache, *_cmem);
+    _ccb = std::make_unique<ConcurrencyControlBus>(
+        child("ccb"), sim, _params.num_ces, _params.ccb);
+    _ces.reserve(_params.num_ces);
+    for (unsigned i = 0; i < _params.num_ces; ++i) {
+        _ces.push_back(std::make_unique<ComputationalElement>(
+            child("ce" + std::to_string(i)), sim, gm, first_port + i,
+            *_cache, *_cmem, *this, _params.ce, _params.pfu));
+    }
+}
+
+unsigned
+Cluster::newBarrier(unsigned participants)
+{
+    unsigned id = _next_barrier_id++;
+    _barriers.emplace(id, _ccb->makeBarrier(participants));
+    return id;
+}
+
+CcBarrier &
+Cluster::barrier(unsigned id)
+{
+    auto it = _barriers.find(id);
+    sim_assert(it != _barriers.end(), "unknown barrier id ", id);
+    return it->second;
+}
+
+double
+Cluster::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto &ce : _ces)
+        total += ce->flops();
+    return total;
+}
+
+void
+Cluster::resetStats()
+{
+    for (auto &ce : _ces)
+        ce->resetStats();
+    _cache->resetStats();
+    _cmem->resetStats();
+    _ccb->resetStats();
+}
+
+} // namespace cedar::cluster

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The CE workload intermediate representation.
+ *
+ * Workloads (kernels, runtime library activity, Perfect-code models)
+ * are expressed as streams of Ops, the abstract instruction set of the
+ * simulated computational element: scalar work, vector instructions
+ * with an operand source somewhere in the memory hierarchy, individual
+ * global accesses, prefetch arm/fire, memory-based synchronization,
+ * and intracluster barriers.
+ */
+
+#ifndef CEDARSIM_CLUSTER_OP_HH
+#define CEDARSIM_CLUSTER_OP_HH
+
+#include <cstdint>
+
+#include "mem/syncops.hh"
+#include "sim/types.hh"
+
+namespace cedar::cluster {
+
+/** Kinds of work a CE can perform. */
+enum class OpKind : std::uint8_t
+{
+    scalar,       ///< busy cycles of scalar computation / control
+    vector,       ///< one vector instruction
+    global_read,  ///< blocking single-word global load
+    global_write, ///< posted single-word global store
+    prefetch,     ///< arm + fire the PFU
+    sync,         ///< global synchronization instruction (blocking)
+    barrier,      ///< intracluster barrier on the concurrency bus
+    coherence,    ///< software-coherence cache flush + invalidate
+};
+
+/** Where a vector instruction's memory operand stream lives. */
+enum class VecSource : std::uint8_t
+{
+    registers,       ///< register-register (no memory operand)
+    cache,           ///< cached cluster data at cache bandwidth
+    cluster_mem,     ///< cluster memory through the cache (may miss)
+    global_direct,   ///< global memory, limited to 2 outstanding
+    prefetch_buffer, ///< previously prefetched global data
+};
+
+/** One unit of CE work. All fields are plain data; unused ones are 0. */
+struct Op
+{
+    OpKind kind = OpKind::scalar;
+
+    /** scalar: busy time. */
+    Cycles cycles = 0;
+    /** floating-point operations performed by this op in total. */
+    double flops = 0.0;
+
+    /** vector: element count. */
+    unsigned length = 0;
+    /** vector: operand stream location. */
+    VecSource source = VecSource::registers;
+    /** vector: memory words touched per element on the stream. */
+    unsigned words_per_elem = 1;
+    /** vector: true if the stream is a store (marks cache lines dirty). */
+    bool write_stream = false;
+    /** vector from prefetch_buffer: first buffer index to consume. */
+    unsigned buf_offset = 0;
+
+    /** memory ops / vector streams / prefetch: start word address. */
+    Addr addr = 0;
+    /** memory stride in words. */
+    unsigned stride = 1;
+
+    /** sync: the Test-And-Operate instruction. */
+    mem::SyncOp sync_op{};
+
+    /** barrier: identifier of the cluster barrier to join. */
+    unsigned barrier_id = 0;
+
+    // ---- convenience constructors ----
+
+    static Op
+    makeScalar(Cycles cycles, double flops = 0.0)
+    {
+        Op op;
+        op.kind = OpKind::scalar;
+        op.cycles = cycles;
+        op.flops = flops;
+        return op;
+    }
+
+    static Op
+    makeVector(unsigned length, VecSource source, double flops_per_elem,
+               Addr addr = 0, unsigned stride = 1,
+               unsigned words_per_elem = 1, bool write_stream = false)
+    {
+        Op op;
+        op.kind = OpKind::vector;
+        op.length = length;
+        op.source = source;
+        op.flops = flops_per_elem * length;
+        op.addr = addr;
+        op.stride = stride;
+        op.words_per_elem = words_per_elem;
+        op.write_stream = write_stream;
+        return op;
+    }
+
+    static Op
+    makeVectorFromPrefetch(unsigned length, unsigned buf_offset,
+                           double flops_per_elem)
+    {
+        Op op;
+        op.kind = OpKind::vector;
+        op.length = length;
+        op.source = VecSource::prefetch_buffer;
+        op.buf_offset = buf_offset;
+        op.flops = flops_per_elem * length;
+        return op;
+    }
+
+    static Op
+    makeGlobalRead(Addr addr)
+    {
+        Op op;
+        op.kind = OpKind::global_read;
+        op.addr = addr;
+        return op;
+    }
+
+    static Op
+    makeGlobalWrite(Addr addr)
+    {
+        Op op;
+        op.kind = OpKind::global_write;
+        op.addr = addr;
+        return op;
+    }
+
+    static Op
+    makePrefetch(Addr addr, unsigned length, unsigned stride = 1)
+    {
+        Op op;
+        op.kind = OpKind::prefetch;
+        op.addr = addr;
+        op.length = length;
+        op.stride = stride;
+        return op;
+    }
+
+    static Op
+    makeSync(Addr addr, const mem::SyncOp &sync_op)
+    {
+        Op op;
+        op.kind = OpKind::sync;
+        op.addr = addr;
+        op.sync_op = sync_op;
+        return op;
+    }
+
+    static Op
+    makeBarrier(unsigned barrier_id)
+    {
+        Op op;
+        op.kind = OpKind::barrier;
+        op.barrier_id = barrier_id;
+        return op;
+    }
+
+    static Op
+    makeCoherenceFlush()
+    {
+        Op op;
+        op.kind = OpKind::coherence;
+        return op;
+    }
+};
+
+/**
+ * A pull-based op source. The CE asks for the next op whenever it is
+ * free; streams can generate ops lazily (loops over billions of
+ * elements never materialize as vectors) and can react to sync results
+ * (self-scheduling needs the fetched iteration number).
+ */
+class OpStream
+{
+  public:
+    virtual ~OpStream() = default;
+
+    /**
+     * Produce the next op.
+     * @return false when the stream is exhausted
+     */
+    virtual bool next(Op &op) = 0;
+
+    /** Deliver the functional result of the last sync op. */
+    virtual void syncResult(const mem::SyncResult &) {}
+};
+
+} // namespace cedar::cluster
+
+#endif // CEDARSIM_CLUSTER_OP_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Statistics snapshot and report rendering.
+ */
+
+#include "machine_report.hh"
+
+#include <sstream>
+
+#include "core/report.hh"
+
+namespace cedar::core {
+
+MachineSnapshot
+snapshot(machine::CedarMachine &machine)
+{
+    MachineSnapshot snap;
+    snap.elapsed = machine.sim().curTick();
+
+    auto &gm = machine.gm();
+    snap.gm_reads = gm.readCount();
+    snap.gm_writes = gm.writeCount();
+    snap.gm_syncs = gm.syncCount();
+    snap.gm_read_latency_mean = gm.readLatencyStat().mean();
+    snap.gm_read_latency_max = gm.readLatencyStat().max();
+
+    double wait_sum = 0.0;
+    std::uint64_t wait_n = 0;
+    for (unsigned m = 0; m < gm.numModules(); ++m) {
+        const auto &mod = gm.module(m);
+        snap.module_conflicts += mod.conflictCount();
+        wait_sum += mod.waitStat().mean() *
+                    static_cast<double>(mod.waitStat().count());
+        wait_n += mod.waitStat().count();
+    }
+    snap.module_wait_mean =
+        wait_n ? wait_sum / static_cast<double>(wait_n) : 0.0;
+
+    snap.fwd_delivered_words = gm.forwardNet().deliveredWords();
+    snap.rev_delivered_words = gm.reverseNet().deliveredWords();
+    snap.fwd_queueing_mean = gm.forwardNet().queueingStat().mean();
+    snap.rev_queueing_mean = gm.reverseNet().queueingStat().mean();
+    if (snap.elapsed > 0) {
+        double peak_words =
+            static_cast<double>(gm.numModules()) /
+            machine.config().gm.module_access_cycles *
+            static_cast<double>(snap.elapsed);
+        snap.gm_bandwidth_utilization =
+            static_cast<double>(snap.rev_delivered_words) / peak_words;
+    }
+
+    for (unsigned c = 0; c < machine.numClusters(); ++c) {
+        auto &cl = machine.clusterAt(c);
+        snap.cache_hits += cl.cache().hitCount();
+        snap.cache_misses += cl.cache().missCount();
+        snap.cache_writebacks += cl.cache().writebackCount();
+        snap.ccb_starts += cl.ccb().startCount();
+        snap.ccb_dispatches += cl.ccb().dispatchCount();
+    }
+
+    double pfu_lat_sum = 0.0;
+    std::uint64_t pfu_lat_n = 0;
+    for (unsigned i = 0; i < machine.numCes(); ++i) {
+        auto &ce = machine.ceAt(i);
+        snap.total_flops += ce.flops();
+        snap.total_ops += ce.opsCompleted();
+        snap.pfu_requests += ce.pfu().requestsIssued();
+        const auto &lat = ce.pfu().latencyStat();
+        pfu_lat_sum += lat.mean() * static_cast<double>(lat.count());
+        pfu_lat_n += lat.count();
+    }
+    snap.pfu_latency_mean =
+        pfu_lat_n ? pfu_lat_sum / static_cast<double>(pfu_lat_n) : 0.0;
+    return snap;
+}
+
+std::string
+renderReport(const MachineSnapshot &snap)
+{
+    std::ostringstream os;
+    os << "=== machine report ===\n";
+    os << "elapsed: " << snap.elapsed << " cycles ("
+       << fmt(ticksToMicros(snap.elapsed), 1) << " us)\n";
+    os << "work: " << fmt(snap.total_flops, 0) << " flops in "
+       << snap.total_ops << " ops -> " << fmt(snap.mflops(), 1)
+       << " MFLOPS\n";
+
+    os << "\nglobal memory:\n";
+    os << "  reads " << snap.gm_reads << ", writes " << snap.gm_writes
+       << ", syncs " << snap.gm_syncs << "\n";
+    os << "  read latency mean " << fmt(snap.gm_read_latency_mean, 1)
+       << " / max " << fmt(snap.gm_read_latency_max, 0)
+       << " cycles (uncontended minimum 6)\n";
+    os << "  module conflicts " << snap.module_conflicts
+       << ", mean bank wait " << fmt(snap.module_wait_mean, 2)
+       << " cycles\n";
+
+    os << "\nnetworks:\n";
+    os << "  forward delivered " << snap.fwd_delivered_words
+       << " words, mean queueing " << fmt(snap.fwd_queueing_mean, 2)
+       << " cycles\n";
+    os << "  reverse delivered " << snap.rev_delivered_words
+       << " words, mean queueing " << fmt(snap.rev_queueing_mean, 2)
+       << " cycles\n";
+    os << "  global bandwidth utilization "
+       << fmt(100.0 * snap.gm_bandwidth_utilization, 1)
+       << "% of the 768 MB/s budget\n";
+
+    os << "\nclusters:\n";
+    os << "  cache hits " << snap.cache_hits << " / misses "
+       << snap.cache_misses << " (hit rate "
+       << fmt(100.0 * snap.cacheHitRate(), 1) << "%), writebacks "
+       << snap.cache_writebacks << "\n";
+    os << "  concurrency bus: " << snap.ccb_starts << " gang starts, "
+       << snap.ccb_dispatches << " dispatches\n";
+
+    os << "\nprefetch units:\n";
+    os << "  requests " << snap.pfu_requests << ", mean latency "
+       << fmt(snap.pfu_latency_mean, 1)
+       << " cycles (hardware minimum 8)\n";
+    return os.str();
+}
+
+} // namespace cedar::core

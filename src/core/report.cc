@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table formatting implementation.
+ */
+
+#include "report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cedar::core {
+
+TableWriter::TableWriter(std::vector<std::string> headers,
+                         unsigned min_width)
+    : _headers(std::move(headers)), _min_width(min_width)
+{
+    sim_assert(!_headers.empty(), "table needs at least one column");
+}
+
+void
+TableWriter::row(const std::vector<std::string> &cells)
+{
+    sim_assert(cells.size() == _headers.size(), "row has ", cells.size(),
+               " cells but the table has ", _headers.size(), " columns");
+    _rows.push_back(cells);
+}
+
+std::string
+TableWriter::str() const
+{
+    std::vector<std::size_t> widths(_headers.size(), _min_width);
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = std::max(widths[c], _headers[c].size());
+    for (const auto &r : _rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // First column left-aligned, the rest right-aligned.
+            if (c == 0) {
+                os << cells[c]
+                   << std::string(widths[c] - cells[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - cells[c].size(), ' ')
+                   << cells[c];
+            }
+        }
+        os << '\n';
+    };
+    emit(_headers);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &r : _rows)
+        emit(r);
+    return os.str();
+}
+
+void
+TableWriter::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+vsPaper(double measured, double paper, int decimals)
+{
+    return fmt(measured, decimals) + " (" + fmt(paper, decimals) + ")";
+}
+
+double
+relativeError(double measured, double paper)
+{
+    sim_assert(paper != 0.0, "paper value must be nonzero");
+    return std::abs(measured - paper) / std::abs(paper);
+}
+
+} // namespace cedar::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Console table formatting shared by the benches and examples, plus a
+ * side-by-side "measured vs paper" cell type so every reproduction
+ * binary reports the comparison uniformly.
+ */
+
+#ifndef CEDARSIM_CORE_REPORT_HH
+#define CEDARSIM_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace cedar::core {
+
+/** Simple fixed-width table printer for reproduction output. */
+class TableWriter
+{
+  public:
+    /** @param headers column titles; widths adapt to them */
+    explicit TableWriter(std::vector<std::string> headers,
+                         unsigned min_width = 10);
+
+    /** Add a row of preformatted cells (must match header count). */
+    void row(const std::vector<std::string> &cells);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Render to a string (for tests). */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+    unsigned _min_width;
+};
+
+/** Format a double with fixed decimals. */
+std::string fmt(double value, int decimals = 1);
+
+/** Format "measured (paper X)" comparison cells. */
+std::string vsPaper(double measured, double paper, int decimals = 1);
+
+/** Relative error |measured - paper| / paper. */
+double relativeError(double measured, double paper);
+
+} // namespace cedar::core
+
+#endif // CEDARSIM_CORE_REPORT_HH

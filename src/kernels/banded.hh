@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Banded matrix-vector multiply, y = A x with A of odd bandwidth b
+ * (b = 3 and b = 11 in [FWPS92]'s CM-5 study that Section 4.3 compares
+ * against). The Cedar version streams the b coefficient diagonals and
+ * the x vector from global memory through the PFUs, reusing the
+ * shifted x in registers; this gives the like-for-like Cedar-side
+ * numbers the paper's comparison implies but never ran.
+ */
+
+#ifndef CEDARSIM_KERNELS_BANDED_HH
+#define CEDARSIM_KERNELS_BANDED_HH
+
+#include <vector>
+
+#include "kernels/common.hh"
+
+namespace cedar::kernels {
+
+/** Parameters for a banded matvec run. */
+struct BandedParams
+{
+    /** Rows. */
+    unsigned n = 32768;
+    /** Odd matrix bandwidth (3 or 11 in the published comparison). */
+    unsigned bandwidth = 3;
+    /** CEs participating (cluster-major from CE 0). */
+    unsigned ces = 32;
+    /** Vector strip length. */
+    unsigned strip = 32;
+};
+
+/** Flops the kernel retires: one multiply per diagonal element plus
+ *  the combining adds — (2b - 1) per row for interior rows. */
+double bandedFlops(unsigned n, unsigned bandwidth);
+
+/** Timed banded matvec on the simulated machine. */
+KernelResult runBanded(machine::CedarMachine &machine,
+                       const BandedParams &params);
+
+/** Functional reference (diagonals stored as dense rows). */
+std::vector<double>
+bandedMatvec(const std::vector<std::vector<double>> &diagonals,
+             const std::vector<double> &x);
+
+} // namespace cedar::kernels
+
+#endif // CEDARSIM_KERNELS_BANDED_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Conjugate gradient on a 5-diagonal SPD matrix.
+ *
+ * Section 4.3 measures a CG iterative solver on Cedar with problem
+ * sizes 1K..172K and 2..32 processors; the computation involves
+ * 5-diagonal matrix-vector products plus vector and reduction
+ * operations. Two halves here:
+ *
+ *  - a functional solver (real arithmetic, real convergence) used by
+ *    the tests and to establish flop counts;
+ *  - a timed version whose per-CE op streams drive the simulated
+ *    machine: 5 coefficient streams plus the p halo through the PFUs,
+ *    posted result stores, and global-memory counting barriers with
+ *    Test-And-Operate reductions between phases.
+ */
+
+#ifndef CEDARSIM_KERNELS_CG_HH
+#define CEDARSIM_KERNELS_CG_HH
+
+#include <vector>
+
+#include "kernels/common.hh"
+
+namespace cedar::kernels {
+
+/** A pentadiagonal SPD system (2D Laplacian-like stencil). */
+struct CgProblem
+{
+    /** Unknowns. */
+    unsigned n = 4096;
+    /** Outer-diagonal offset (grid width for a 2D stencil). */
+    unsigned m = 64;
+    /** Center coefficient (must dominate 4 off-diagonals of -1). */
+    double center = 4.5;
+
+    /** q = A p for this matrix. */
+    void matvec(const std::vector<double> &p,
+                std::vector<double> &q) const;
+};
+
+/** Result of a functional CG solve. */
+struct CgSolveResult
+{
+    unsigned iterations = 0;
+    double final_residual = 0.0;
+    double flops = 0.0;
+    bool converged = false;
+    std::vector<double> x;
+};
+
+/** Solve A x = b with plain CG. */
+CgSolveResult cgSolve(const CgProblem &problem,
+                      const std::vector<double> &b, unsigned max_iters,
+                      double tolerance);
+
+/** Parameters for the timed CG kernel. */
+struct CgTimedParams
+{
+    /** Problem size. */
+    unsigned n = 32768;
+    /** Outer-diagonal offset. */
+    unsigned m = 128;
+    /** CEs participating (cluster-major from CE 0). */
+    unsigned ces = 32;
+    /** Iterations to simulate (the rate converges quickly). */
+    unsigned iterations = 2;
+    /** Vector strip length. */
+    unsigned strip = 32;
+    /** Spin-poll backoff while waiting at a global barrier. */
+    Cycles barrier_backoff = 30;
+    /** Parallel-loop startup paid at each phase entry (the real CG
+     *  ran each phase as its own DOALL; Section 3.2's ~90 us). */
+    double phase_startup_us = 90.0;
+};
+
+/** Flops one timed CG iteration retires (~19 per unknown). */
+double cgIterationFlops(unsigned n);
+
+/** Run the timed CG kernel on the simulated machine. */
+KernelResult runCgTimed(machine::CedarMachine &machine,
+                        const CgTimedParams &params);
+
+} // namespace cedar::kernels
+
+#endif // CEDARSIM_KERNELS_CG_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared kernel plumbing: result records and PFU statistics gathering.
+ */
+
+#ifndef CEDARSIM_KERNELS_COMMON_HH
+#define CEDARSIM_KERNELS_COMMON_HH
+
+#include <vector>
+
+#include "machine/cedar.hh"
+#include "sim/types.hh"
+
+namespace cedar::kernels {
+
+/** Outcome of one timed kernel run. */
+struct KernelResult
+{
+    /** Total floating-point operations retired. */
+    double flops = 0.0;
+    /** Ticks when the measured region started and ended. */
+    Tick start = 0;
+    Tick end = 0;
+    /** CEs participating. */
+    unsigned ces = 0;
+
+    /** Mean first-word prefetch latency (issue -> buffer), cycles. */
+    double mean_latency = 0.0;
+    /** Mean interarrival between returning words in a block, cycles. */
+    double mean_interarrival = 0.0;
+    /** Global requests observed. */
+    std::uint64_t requests = 0;
+
+    Tick elapsed() const { return end > start ? end - start : 0; }
+
+    double
+    mflopsRate() const
+    {
+        return mflops(flops, elapsed());
+    }
+
+    /** Machine seconds the kernel took. */
+    double seconds() const { return ticksToSeconds(elapsed()); }
+};
+
+/**
+ * Collect prefetch latency/interarrival means over a set of CEs, the
+ * way the paper's hardware monitor reported Table 2 (single-processor
+ * probes repeated for consistency; here we can afford all of them).
+ */
+inline void
+collectPfuStats(machine::CedarMachine &m,
+                const std::vector<unsigned> &ces, KernelResult &out)
+{
+    double lat_sum = 0.0, int_sum = 0.0;
+    std::uint64_t lat_n = 0, int_n = 0, reqs = 0;
+    for (unsigned c : ces) {
+        auto &pfu = m.ceAt(c).pfu();
+        const auto &lat = pfu.latencyStat();
+        const auto &ia = pfu.interarrivalStat();
+        lat_sum += lat.mean() * static_cast<double>(lat.count());
+        lat_n += lat.count();
+        int_sum += ia.mean() * static_cast<double>(ia.count());
+        int_n += ia.count();
+        reqs += pfu.requestsIssued();
+    }
+    out.mean_latency = lat_n ? lat_sum / static_cast<double>(lat_n) : 0.0;
+    out.mean_interarrival =
+        int_n ? int_sum / static_cast<double>(int_n) : 0.0;
+    out.requests = reqs;
+}
+
+} // namespace cedar::kernels
+
+#endif // CEDARSIM_KERNELS_COMMON_HH

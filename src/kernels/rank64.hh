@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The rank-64 matrix update primitive of Section 4.1.
+ *
+ * C (n x n) += A (n x 64) * B (64 x n), all matrices resident in global
+ * memory, in three versions that differ only in how operands reach the
+ * CEs:
+ *
+ *  - gm_no_prefetch: every vector access goes directly to global memory
+ *    and is limited by the CE's two outstanding requests and the
+ *    13-cycle latency;
+ *  - gm_prefetch: identical, but A panels stream through the prefetch
+ *    unit (the hand-tuned kernel uses 256-word blocks aggressively
+ *    overlapped with computation);
+ *  - gm_cache: submatrices are first moved into a cached work array in
+ *    each cluster and all vector accesses hit the cache.
+ *
+ * All versions chain two floating-point operations per memory request:
+ * the C strip is held in vector registers across the 64 rank-1 updates,
+ * so the A element stream carries a multiply-add per word.
+ */
+
+#ifndef CEDARSIM_KERNELS_RANK64_HH
+#define CEDARSIM_KERNELS_RANK64_HH
+
+#include "kernels/common.hh"
+#include "machine/cedar.hh"
+
+namespace cedar::kernels {
+
+/** Memory-access versions of the rank-64 update. */
+enum class Rank64Version
+{
+    gm_no_prefetch,
+    gm_prefetch,
+    gm_cache,
+};
+
+/** Parameters of a rank-64 run. */
+struct Rank64Params
+{
+    /** Matrix dimension n (paper: 1K). */
+    unsigned n = 512;
+    /** Update rank (fixed at 64 in the paper). */
+    unsigned rank = 64;
+    /** Clusters to use (1..4). */
+    unsigned clusters = 4;
+    /** Access version. */
+    Rank64Version version = Rank64Version::gm_prefetch;
+    /** Vector strip length (the 32-word vector registers). */
+    unsigned strip = 32;
+    /** Prefetch block for gm_prefetch (hand RK kernel: 256). */
+    unsigned prefetch_block = 256;
+    /** Row-block height for the gm_cache work array. */
+    unsigned cache_block_rows = 256;
+};
+
+/** Human-readable version label. */
+const char *rank64VersionName(Rank64Version v);
+
+/**
+ * Run the rank-64 update on @p machine and return the timing record.
+ * The machine must be freshly constructed or stats-reset.
+ */
+KernelResult runRank64(machine::CedarMachine &machine,
+                       const Rank64Params &params);
+
+} // namespace cedar::kernels
+
+#endif // CEDARSIM_KERNELS_RANK64_HH

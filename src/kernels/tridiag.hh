@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The TM kernel: tridiagonal matrix-vector multiply
+ * y = dl*x(i-1) + d*x(i) + du*x(i+1), with all operands in global
+ * memory and compiler-generated 32-word prefetches. The shifted x
+ * reuse happens in vector registers, so TM mixes register-register
+ * vector operations with its memory streams — exactly why the paper
+ * finds it degrades less under contention than VL or RK (Table 2).
+ */
+
+#ifndef CEDARSIM_KERNELS_TRIDIAG_HH
+#define CEDARSIM_KERNELS_TRIDIAG_HH
+
+#include <vector>
+
+#include "kernels/common.hh"
+
+namespace cedar::kernels {
+
+/** Parameters for a TM run. */
+struct TridiagParams
+{
+    /** Problem size (rows). */
+    unsigned n = 65536;
+    /** CEs participating (cluster-major from CE 0). */
+    unsigned ces = 8;
+    /** Vector strip / prefetch block. */
+    unsigned strip = 32;
+};
+
+/** Timed tridiagonal matvec on the simulated machine. */
+KernelResult runTridiag(machine::CedarMachine &machine,
+                        const TridiagParams &params);
+
+/**
+ * Functional tridiagonal matvec, for validating the kernel's flop
+ * accounting and numerics in tests.
+ */
+std::vector<double> tridiagMatvec(const std::vector<double> &dl,
+                                  const std::vector<double> &d,
+                                  const std::vector<double> &du,
+                                  const std::vector<double> &x);
+
+/** Flops the timed kernel should retire for a given n. */
+double tridiagFlops(unsigned n);
+
+} // namespace cedar::kernels
+
+#endif // CEDARSIM_KERNELS_TRIDIAG_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The VL kernel: a pure vector load from global memory through the
+ * prefetch units, used in Section 4.1 to probe raw global-memory
+ * latency and interarrival behaviour (Table 2). Compiler-style
+ * 32-word prefetch blocks by default.
+ */
+
+#ifndef CEDARSIM_KERNELS_VLOAD_HH
+#define CEDARSIM_KERNELS_VLOAD_HH
+
+#include "kernels/common.hh"
+
+namespace cedar::kernels {
+
+/** Parameters for a VL run. */
+struct VloadParams
+{
+    /** Number of CEs participating (cluster-major order from CE 0). */
+    unsigned ces = 8;
+    /** Prefetch block size in words. */
+    unsigned block = 32;
+    /** Blocks loaded per CE. */
+    unsigned repetitions = 400;
+};
+
+/** Run the VL kernel and return latency/interarrival statistics. */
+KernelResult runVload(machine::CedarMachine &machine,
+                      const VloadParams &params);
+
+} // namespace cedar::kernels
+
+#endif // CEDARSIM_KERNELS_VLOAD_HH

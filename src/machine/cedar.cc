@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine assembly and global memory allocation.
+ */
+
+#include "cedar.hh"
+
+#include "mem/address.hh"
+
+namespace cedar::machine {
+
+CedarMachine::CedarMachine(const CedarConfig &config)
+    : Named("cedar"), _config(config)
+{
+    if (_config.num_clusters == 0)
+        fatal("machine needs at least one cluster");
+    if (_config.gm.num_ports != _config.numCes()) {
+        fatal("global network has ", _config.gm.num_ports,
+              " ports but the machine has ", _config.numCes(), " CEs");
+    }
+    _gm = std::make_unique<mem::GlobalMemory>(child("gm"), _config.gm);
+    _clusters.reserve(_config.num_clusters);
+    for (unsigned c = 0; c < _config.num_clusters; ++c) {
+        _clusters.push_back(std::make_unique<cluster::Cluster>(
+            child("cluster" + std::to_string(c)), _sim, *_gm,
+            c * _config.cluster.num_ces, _config.cluster));
+    }
+}
+
+Addr
+CedarMachine::allocGlobal(std::uint64_t words, unsigned align)
+{
+    sim_assert(align > 0, "alignment must be positive");
+    _next_global = (_next_global + align - 1) / align * align;
+    Addr base = mem::globalAddr(_next_global);
+    _next_global += words;
+    return base;
+}
+
+Addr
+CedarMachine::allocGlobalStaggered(std::uint64_t words)
+{
+    Addr base = allocGlobal(words, 1);
+    // Advance by a module-coprime pad so the next array starts at a
+    // different interleave phase.
+    _next_global += 13;
+    return base;
+}
+
+Addr
+CedarMachine::allocCluster(std::uint64_t words, unsigned align)
+{
+    sim_assert(align > 0, "alignment must be positive");
+    _next_cluster_addr =
+        (_next_cluster_addr + align - 1) / align * align;
+    Addr base = _next_cluster_addr;
+    _next_cluster_addr += words;
+    sim_assert(!mem::isGlobal(base), "cluster space exhausted");
+    return base;
+}
+
+double
+CedarMachine::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto &c : _clusters)
+        total += c->totalFlops();
+    return total;
+}
+
+void
+CedarMachine::resetStats()
+{
+    _gm->resetStats();
+    for (auto &c : _clusters)
+        c->resetStats();
+}
+
+} // namespace cedar::machine

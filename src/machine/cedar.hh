@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The assembled Cedar machine: four Alliant FX/8 clusters connected by
+ * two unidirectional omega networks to the globally shared memory.
+ */
+
+#ifndef CEDARSIM_MACHINE_CEDAR_HH
+#define CEDARSIM_MACHINE_CEDAR_HH
+
+#include <memory>
+#include <vector>
+
+#include "machine/config.hh"
+#include "sim/engine.hh"
+#include "sim/named.hh"
+
+namespace cedar::machine {
+
+/** A complete Cedar system plus its private simulation engine. */
+class CedarMachine : public Named
+{
+  public:
+    explicit CedarMachine(const CedarConfig &config = CedarConfig::standard());
+
+    Simulation &sim() { return _sim; }
+    mem::GlobalMemory &gm() { return *_gm; }
+    const CedarConfig &config() const { return _config; }
+
+    unsigned numClusters() const { return _config.num_clusters; }
+    unsigned numCes() const { return _config.numCes(); }
+
+    cluster::Cluster &clusterAt(unsigned i) { return *_clusters.at(i); }
+
+    /** CE by machine-wide index (cluster-major order). */
+    cluster::ComputationalElement &
+    ceAt(unsigned global_index)
+    {
+        unsigned per = _config.cluster.num_ces;
+        return _clusters.at(global_index / per)->ce(global_index % per);
+    }
+
+    /**
+     * Allocate @p words of globally shared memory.
+     * @param align word alignment (default: one module stripe, so
+     *              separately allocated arrays start on module 0)
+     * @return global word address
+     */
+    Addr allocGlobal(std::uint64_t words, unsigned align = 32);
+
+    /**
+     * Allocate global memory with a rotating module-phase offset so
+     * separately allocated arrays do not all begin at module 0 (real
+     * programs' arrays land at uncorrelated interleave phases; aligned
+     * bases would make gang-started CEs hammer the same module in
+     * lockstep).
+     */
+    Addr allocGlobalStaggered(std::uint64_t words);
+
+    /** Allocate words of cluster-space memory (per-cluster private). */
+    Addr allocCluster(std::uint64_t words, unsigned align = 4);
+
+    /** Total flops retired by every CE. */
+    double totalFlops() const;
+
+    /** MFLOPS over a window ending now, given flops in that window. */
+    double
+    windowMflops(double flops, Tick window_start) const
+    {
+        Tick elapsed = _sim.curTick() - window_start;
+        return mflops(flops, elapsed);
+    }
+
+    void resetStats();
+
+  private:
+    CedarConfig _config;
+    Simulation _sim;
+    std::unique_ptr<mem::GlobalMemory> _gm;
+    std::vector<std::unique_ptr<cluster::Cluster>> _clusters;
+    Addr _next_global = 0;
+    Addr _next_cluster_addr = 0;
+};
+
+} // namespace cedar::machine
+
+#endif // CEDARSIM_MACHINE_CEDAR_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-machine configuration.
+ *
+ * Every published Cedar parameter lives here as data, so ablation
+ * benches can vary one number at a time and tests can assert the
+ * standard machine matches the paper.
+ */
+
+#ifndef CEDARSIM_MACHINE_CONFIG_HH
+#define CEDARSIM_MACHINE_CONFIG_HH
+
+#include "cluster/cluster.hh"
+#include "mem/globalmem.hh"
+
+namespace cedar::machine {
+
+/** Configuration of a Cedar machine. */
+struct CedarConfig
+{
+    /** Clusters in the system (Cedar: 4). */
+    unsigned num_clusters = 4;
+    /** Per-cluster structure (Alliant FX/8: 8 CEs). */
+    cluster::ClusterParams cluster{};
+    /** Global memory + network structure. */
+    mem::GlobalMemoryParams gm{};
+
+    /** Total CEs. */
+    unsigned
+    numCes() const
+    {
+        return num_clusters * cluster.num_ces;
+    }
+
+    /** The machine as built at CSRD: 4 x Alliant FX/8, 32 CEs. */
+    static CedarConfig
+    standard()
+    {
+        return CedarConfig{};
+    }
+
+    /** Peak MFLOPS (chained vector multiply-add on every CE). */
+    double
+    peakMflops() const
+    {
+        return numCes() * 2.0 * ce_clock_mhz;
+    }
+
+    /**
+     * Effective peak MFLOPS accounting for unavoidable vector startup
+     * on 32-word strips (the paper's 274 of 376 MFLOPS).
+     */
+    double
+    effectivePeakMflops() const
+    {
+        double strip = 32.0;
+        double eff =
+            strip / (strip + static_cast<double>(cluster.ce.vector_startup));
+        return peakMflops() * eff;
+    }
+};
+
+} // namespace cedar::machine
+
+#endif // CEDARSIM_MACHINE_CONFIG_HH

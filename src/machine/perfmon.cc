@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Performance-monitor arithmetic.
+ */
+
+#include "perfmon.hh"
+
+namespace cedar::machine {
+
+double
+Histogrammer::mean() const
+{
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < _counters.size(); ++i) {
+        weighted += static_cast<double>(i) * _counters[i];
+        total += _counters[i];
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+} // namespace cedar::machine

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The Cedar performance-monitoring hardware.
+ *
+ * Cedar relied on external hardware to collect time-stamped event
+ * traces and histograms of hardware signals: each event tracer holds
+ * one million events and each histogrammer 64K 32-bit counters, and
+ * either can be cascaded to capture more. Programs can also post
+ * software events. The simulator equivalents preserve those capacity
+ * semantics so experiments hit the same limits the real monitors had.
+ */
+
+#ifndef CEDARSIM_MACHINE_PERFMON_HH
+#define CEDARSIM_MACHINE_PERFMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/named.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cedar::machine {
+
+/** One time-stamped monitored event. */
+struct TraceEvent
+{
+    Tick when;
+    std::uint32_t signal;
+    std::int64_t value;
+};
+
+/** A hardware event tracer: 1M events, cascadable. */
+class EventTracer : public Named
+{
+  public:
+    static constexpr std::size_t events_per_unit = 1u << 20;
+
+    /**
+     * @param name     component name
+     * @param cascade  number of tracer units chained together
+     */
+    explicit EventTracer(const std::string &name, unsigned cascade = 1)
+        : Named(name), _capacity(events_per_unit * cascade)
+    {
+        sim_assert(cascade >= 1, "cascade must be at least 1");
+    }
+
+    /** Record an event; silently dropped once full (as in hardware). */
+    void
+    post(Tick when, std::uint32_t signal, std::int64_t value = 0)
+    {
+        if (!_running)
+            return;
+        if (_events.size() >= _capacity) {
+            _dropped.inc();
+            return;
+        }
+        _events.push_back(TraceEvent{when, signal, value});
+    }
+
+    void start() { _running = true; }
+    void stopTracer() { _running = false; }
+    bool running() const { return _running; }
+
+    const std::vector<TraceEvent> &events() const { return _events; }
+    std::size_t capacity() const { return _capacity; }
+    std::uint64_t droppedCount() const { return _dropped.value(); }
+
+    void
+    clear()
+    {
+        _events.clear();
+        _dropped.reset();
+    }
+
+  private:
+    std::size_t _capacity;
+    bool _running = false;
+    std::vector<TraceEvent> _events;
+    Counter _dropped;
+};
+
+/** A hardware histogrammer: 64K 32-bit saturating counters. */
+class Histogrammer : public Named
+{
+  public:
+    static constexpr std::size_t counters_per_unit = 1u << 16;
+
+    explicit Histogrammer(const std::string &name, unsigned cascade = 1)
+        : Named(name), _counters(counters_per_unit * cascade, 0)
+    {
+        sim_assert(cascade >= 1, "cascade must be at least 1");
+    }
+
+    /** Bump the counter for a sampled bin; saturates at 2^32 - 1. */
+    void
+    sample(std::size_t bin)
+    {
+        if (bin >= _counters.size()) {
+            _out_of_range.inc();
+            return;
+        }
+        if (_counters[bin] != ~std::uint32_t(0))
+            ++_counters[bin];
+    }
+
+    std::uint32_t counter(std::size_t bin) const
+    {
+        return _counters.at(bin);
+    }
+    std::size_t numCounters() const { return _counters.size(); }
+    std::uint64_t outOfRangeCount() const { return _out_of_range.value(); }
+
+    /** Weighted mean of the recorded distribution. */
+    double mean() const;
+
+    void
+    clear()
+    {
+        std::fill(_counters.begin(), _counters.end(), 0);
+        _out_of_range.reset();
+    }
+
+  private:
+    std::vector<std::uint32_t> _counters;
+    Counter _out_of_range;
+};
+
+} // namespace cedar::machine
+
+#endif // CEDARSIM_MACHINE_PERFMON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Cedar physical address map.
+ *
+ * Addresses here are 64-bit *word* addresses. The physical space is
+ * divided into two equal halves: cluster memory in the lower half and
+ * globally shared memory in the upper half (paper, Section 2). Global
+ * memory is double-word (8-byte, i.e. one machine word) interleaved
+ * across the memory modules, so consecutive word addresses map to
+ * consecutive modules. Virtual memory uses 4 KB pages = 512 words.
+ */
+
+#ifndef CEDARSIM_MEM_ADDRESS_HH
+#define CEDARSIM_MEM_ADDRESS_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cedar::mem {
+
+/** Words per 4 KB virtual-memory page. */
+constexpr unsigned words_per_page = 4096 / bytes_per_word;
+
+/** Bit that selects the global half of the physical space. */
+constexpr unsigned global_space_bit = 40;
+
+/** Base word address of globally shared memory. */
+constexpr Addr global_base = Addr(1) << global_space_bit;
+
+/** True if @p a lies in the globally shared half of the space. */
+constexpr bool
+isGlobal(Addr a)
+{
+    return (a & global_base) != 0;
+}
+
+/** Make a global address from an offset into shared memory. */
+constexpr Addr
+globalAddr(Addr offset)
+{
+    return global_base | offset;
+}
+
+/** Offset of a global address within shared memory. */
+constexpr Addr
+globalOffset(Addr a)
+{
+    return a & (global_base - 1);
+}
+
+/** Memory module owning a global word (double-word interleaving). */
+constexpr unsigned
+moduleOf(Addr a, unsigned num_modules)
+{
+    return static_cast<unsigned>(globalOffset(a) % num_modules);
+}
+
+/** Page number of a word address (for PFU page-crossing checks). */
+constexpr Addr
+pageOf(Addr a)
+{
+    return a / words_per_page;
+}
+
+/** True if stepping from @p a by @p stride crosses a 4 KB page. */
+constexpr bool
+crossesPage(Addr a, Addr stride)
+{
+    return pageOf(a) != pageOf(a + stride);
+}
+
+} // namespace cedar::mem
+
+#endif // CEDARSIM_MEM_ADDRESS_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Global memory system implementation.
+ */
+
+#include "globalmem.hh"
+
+namespace cedar::mem {
+
+GlobalMemory::GlobalMemory(const std::string &name,
+                           const GlobalMemoryParams &params)
+    : Named(name), _params(params)
+{
+    unsigned ports = 1;
+    for (unsigned r : _params.stage_radices)
+        ports *= r;
+    if (ports != _params.num_ports) {
+        fatal("stage radices cover ", ports, " ports but num_ports is ",
+              _params.num_ports);
+    }
+    if (_params.num_modules == 0 ||
+        _params.num_modules > _params.num_ports) {
+        fatal("module count ", _params.num_modules,
+              " must be in [1, num_ports=", _params.num_ports, "]");
+    }
+    _forward = std::make_unique<net::OmegaNetwork>(
+        child("fwd"), _params.stage_radices, _params.hop_latency,
+        _params.word_occupancy);
+    _reverse = std::make_unique<net::OmegaNetwork>(
+        child("rev"), _params.stage_radices, _params.hop_latency,
+        _params.word_occupancy);
+    _modules.reserve(_params.num_modules);
+    for (unsigned m = 0; m < _params.num_modules; ++m) {
+        _modules.push_back(std::make_unique<MemoryModule>(
+            child("mod" + std::to_string(m)),
+            _params.module_access_cycles, _params.sync_extra_cycles,
+            _params.module_conflict_extra));
+    }
+}
+
+unsigned
+GlobalMemory::networkPortOfModule(unsigned module) const
+{
+    // Modules are spread evenly over the network output ports so that a
+    // reduced-module configuration still exercises the whole fabric.
+    return module * (_params.num_ports / _params.num_modules);
+}
+
+GmResult
+GlobalMemory::read(unsigned port, Addr addr, Tick issue)
+{
+    sim_assert(port < _params.num_ports, "bad port ", port);
+    sim_assert(isGlobal(addr), "read of non-global address ", addr);
+    unsigned mod = moduleOf(addr, _params.num_modules);
+    unsigned mod_port = networkPortOfModule(mod);
+
+    auto fwd = _forward->traverse(port, mod_port,
+                                  _params.read_request_words, issue);
+    Tick served = _modules[mod]->access(fwd.tail_arrival);
+    auto rev = _reverse->traverse(mod_port, port,
+                                  _params.read_response_words, served);
+    _reads.inc();
+    _read_latency.sample(static_cast<double>(rev.head_arrival - issue));
+    return GmResult{rev.head_arrival, fwd.queueing + rev.queueing, {}};
+}
+
+Tick
+GlobalMemory::write(unsigned port, Addr addr, Tick issue)
+{
+    sim_assert(port < _params.num_ports, "bad port ", port);
+    sim_assert(isGlobal(addr), "write of non-global address ", addr);
+    unsigned mod = moduleOf(addr, _params.num_modules);
+    unsigned mod_port = networkPortOfModule(mod);
+
+    auto fwd = _forward->traverse(port, mod_port,
+                                  _params.write_request_words, issue);
+    Tick served = _modules[mod]->access(fwd.tail_arrival);
+    _writes.inc();
+    return served;
+}
+
+GmResult
+GlobalMemory::sync(unsigned port, Addr addr, const SyncOp &op, Tick issue)
+{
+    sim_assert(port < _params.num_ports, "bad port ", port);
+    sim_assert(isGlobal(addr), "sync on non-global address ", addr);
+    unsigned mod = moduleOf(addr, _params.num_modules);
+    unsigned mod_port = networkPortOfModule(mod);
+
+    // A sync request carries the operation and operand alongside the
+    // address: two words forward, two back (old value + status).
+    auto fwd = _forward->traverse(port, mod_port, 2, issue);
+    SyncResult res;
+    Tick served = _modules[mod]->syncAccess(fwd.tail_arrival,
+                                            globalOffset(addr), op, res);
+    auto rev = _reverse->traverse(mod_port, port, 2, served);
+    _syncs.inc();
+    return GmResult{rev.head_arrival, fwd.queueing + rev.queueing, res};
+}
+
+void
+GlobalMemory::pokeCell(Addr addr, std::int32_t value)
+{
+    sim_assert(isGlobal(addr), "pokeCell of non-global address ", addr);
+    unsigned mod = moduleOf(addr, _params.num_modules);
+    _modules[mod]->poke(globalOffset(addr), value);
+}
+
+std::int32_t
+GlobalMemory::peekCell(Addr addr) const
+{
+    sim_assert(isGlobal(addr), "peekCell of non-global address ", addr);
+    unsigned mod = moduleOf(addr, _params.num_modules);
+    return _modules[mod]->peek(globalOffset(addr));
+}
+
+Cycles
+GlobalMemory::minReadLatency() const
+{
+    return _forward->minLatency() +
+           (_params.read_request_words - 1) * _params.word_occupancy +
+           _params.module_access_cycles + _reverse->minLatency();
+}
+
+void
+GlobalMemory::resetStats()
+{
+    _forward->resetStats();
+    _reverse->resetStats();
+    for (auto &m : _modules)
+        m->resetStats();
+    _reads.reset();
+    _writes.reset();
+    _syncs.reset();
+    _read_latency.reset();
+}
+
+} // namespace cedar::mem

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The Cedar global memory system: interleaved memory modules reached
+ * through a forward omega network, with responses returning through an
+ * independent reverse omega network. This component owns all three and
+ * provides the timed read/write/sync interface the processors (and
+ * prefetch units) use.
+ */
+
+#ifndef CEDARSIM_MEM_GLOBALMEM_HH
+#define CEDARSIM_MEM_GLOBALMEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/address.hh"
+#include "mem/module.hh"
+#include "mem/syncops.hh"
+#include "net/omega.hh"
+#include "sim/named.hh"
+#include "sim/stats.hh"
+
+namespace cedar::mem {
+
+/** Construction parameters for the global memory system. */
+struct GlobalMemoryParams
+{
+    /** Processor-side ports (one per CE on Cedar: 32). */
+    unsigned num_ports = 32;
+    /** Per-stage switch radices; product must equal num_ports. */
+    std::vector<unsigned> stage_radices{8, 4};
+    /** Cycles for a packet head to cross one network stage. */
+    Cycles hop_latency = 1;
+    /** Cycles one word occupies a network port. */
+    Cycles word_occupancy = 1;
+    /** Memory modules (paper: double-word interleaved). */
+    unsigned num_modules = 32;
+    /** Bank busy time per access. */
+    Cycles module_access_cycles = 2;
+    /** Extra busy time for a synchronization instruction. */
+    Cycles sync_extra_cycles = 2;
+    /** Extra bank busy time when a request finds the bank occupied
+     *  (arbitration/recirculation loss; calibrated against Table 1). */
+    Cycles module_conflict_extra = 2;
+    /** Words in a read-request packet (routing word incl. address). */
+    unsigned read_request_words = 1;
+    /** Words in a read-response packet. */
+    unsigned read_response_words = 1;
+    /** Words in a write packet (routing word + data). */
+    unsigned write_request_words = 2;
+};
+
+/** Timed outcome of a global memory operation. */
+struct GmResult
+{
+    /** Tick the response head reaches the requesting port. */
+    Tick data_at_port = 0;
+    /** Total network queueing suffered (forward + reverse). */
+    Cycles queueing = 0;
+    /** Functional result for sync operations. */
+    SyncResult sync{0, false};
+};
+
+/** The globally shared memory plus its two networks. */
+class GlobalMemory : public Named
+{
+  public:
+    GlobalMemory(const std::string &name, const GlobalMemoryParams &params);
+
+    /**
+     * Timed read of one word.
+     * @param port  requesting processor port
+     * @param addr  global word address
+     * @param issue tick the request enters the forward network
+     */
+    GmResult read(unsigned port, Addr addr, Tick issue);
+
+    /**
+     * Timed write of one word. Writes are posted: the CE never stalls on
+     * them, but the packet still occupies network and bank resources.
+     * @return tick the write completes at the module
+     */
+    Tick write(unsigned port, Addr addr, Tick issue);
+
+    /** Timed synchronization instruction (round trip + functional op). */
+    GmResult sync(unsigned port, Addr addr, const SyncOp &op, Tick issue);
+
+    /** Initialize a functional cell (e.g. a loop-iteration counter). */
+    void pokeCell(Addr addr, std::int32_t value);
+
+    /** Read a functional cell without timing. */
+    std::int32_t peekCell(Addr addr) const;
+
+    /** Uncontended round-trip latency for a read (network + module). */
+    Cycles minReadLatency() const;
+
+    unsigned numPorts() const { return _params.num_ports; }
+    unsigned numModules() const { return _params.num_modules; }
+
+    const net::OmegaNetwork &forwardNet() const { return *_forward; }
+    const net::OmegaNetwork &reverseNet() const { return *_reverse; }
+    const MemoryModule &module(unsigned m) const { return *_modules.at(m); }
+
+    /** Total reads served (for bandwidth accounting). */
+    std::uint64_t readCount() const { return _reads.value(); }
+    std::uint64_t writeCount() const { return _writes.value(); }
+    std::uint64_t syncCount() const { return _syncs.value(); }
+
+    /** Distribution of read round-trip latencies seen at the ports. */
+    const SampleStat &readLatencyStat() const { return _read_latency; }
+
+    void resetStats();
+
+  private:
+    unsigned networkPortOfModule(unsigned module) const;
+
+    GlobalMemoryParams _params;
+    std::unique_ptr<net::OmegaNetwork> _forward;
+    std::unique_ptr<net::OmegaNetwork> _reverse;
+    std::vector<std::unique_ptr<MemoryModule>> _modules;
+    Counter _reads;
+    Counter _writes;
+    Counter _syncs;
+    SampleStat _read_latency;
+};
+
+} // namespace cedar::mem
+
+#endif // CEDARSIM_MEM_GLOBALMEM_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * One global memory module: a bank with deterministic service time,
+ * a synchronization processor, and sparse functional storage for the
+ * words that synchronization and explicit data traffic actually touch.
+ */
+
+#ifndef CEDARSIM_MEM_MODULE_HH
+#define CEDARSIM_MEM_MODULE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/syncops.hh"
+#include "sim/named.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cedar::mem {
+
+/** A single interleaved memory module. */
+class MemoryModule : public Named
+{
+  public:
+    /**
+     * @param name           component name
+     * @param access_cycles  bank busy time per ordinary access
+     * @param sync_cycles    extra busy time for a sync instruction
+     * @param conflict_extra extra busy time when a request finds the
+     *                       bank occupied (arbitration/recirculation
+     *                       loss; Turner attributes Cedar's observed
+     *                       degradation to implementation constraints
+     *                       of this kind, and Table 1 calibrates it)
+     */
+    MemoryModule(const std::string &name, Cycles access_cycles,
+                 Cycles sync_cycles, Cycles conflict_extra = 0)
+        : Named(name), _access_cycles(access_cycles),
+          _sync_cycles(sync_cycles), _conflict_extra(conflict_extra)
+    {
+    }
+
+    /**
+     * Serve an ordinary read or write that arrives at @p arrival.
+     * @return tick at which the data (or ack) leaves the module
+     */
+    Tick
+    access(Tick arrival)
+    {
+        Tick start = std::max(arrival, _bank_free);
+        bool conflicted = start > arrival;
+        _wait.sample(static_cast<double>(start - arrival));
+        _bank_free =
+            start + _access_cycles + (conflicted ? _conflict_extra : 0);
+        _accesses.inc();
+        if (conflicted)
+            _conflicts.inc();
+        return _bank_free;
+    }
+
+    /**
+     * Serve a synchronization instruction: bank access plus the
+     * read-modify-write on the sync processor, indivisibly.
+     *
+     * @param arrival tick the request reaches the module
+     * @param addr    target word
+     * @param op      the Test-And-Operate instruction
+     * @param[out] result functional outcome
+     * @return tick at which the response leaves the module
+     */
+    Tick
+    syncAccess(Tick arrival, Addr addr, const SyncOp &op,
+               SyncResult &result)
+    {
+        Tick start = std::max(arrival, _bank_free);
+        bool conflicted = start > arrival;
+        _wait.sample(static_cast<double>(start - arrival));
+        _bank_free = start + _access_cycles + _sync_cycles +
+                     (conflicted ? _conflict_extra : 0);
+        _sync_ops.inc();
+        if (conflicted)
+            _conflicts.inc();
+        result = applySyncOp(_cells[addr], op);
+        return _bank_free;
+    }
+
+    /** Direct functional peek (debug / test). */
+    std::int32_t
+    peek(Addr addr) const
+    {
+        auto it = _cells.find(addr);
+        return it == _cells.end() ? 0 : it->second;
+    }
+
+    /** Direct functional poke (initialization). */
+    void poke(Addr addr, std::int32_t value) { _cells[addr] = value; }
+
+    std::uint64_t accessCount() const { return _accesses.value(); }
+    std::uint64_t syncOpCount() const { return _sync_ops.value(); }
+    std::uint64_t conflictCount() const { return _conflicts.value(); }
+    const SampleStat &waitStat() const { return _wait; }
+    Tick bankFree() const { return _bank_free; }
+
+    void
+    resetStats()
+    {
+        _accesses.reset();
+        _sync_ops.reset();
+        _wait.reset();
+    }
+
+  private:
+    Cycles _access_cycles;
+    Cycles _sync_cycles;
+    Cycles _conflict_extra;
+    Tick _bank_free = 0;
+    Counter _accesses;
+    Counter _sync_ops;
+    Counter _conflicts;
+    SampleStat _wait;
+    std::unordered_map<Addr, std::int32_t> _cells;
+};
+
+} // namespace cedar::mem
+
+#endif // CEDARSIM_MEM_MODULE_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Diagnostic names for synchronization operations.
+ */
+
+#include "syncops.hh"
+
+namespace cedar::mem {
+
+std::string
+syncOperateName(SyncOperate op)
+{
+    switch (op) {
+      case SyncOperate::read: return "read";
+      case SyncOperate::write: return "write";
+      case SyncOperate::add: return "add";
+      case SyncOperate::subtract: return "subtract";
+      case SyncOperate::logic_and: return "and";
+      case SyncOperate::logic_or: return "or";
+      case SyncOperate::set_one: return "set";
+    }
+    return "unknown";
+}
+
+} // namespace cedar::mem

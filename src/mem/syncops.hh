@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cedar memory-based synchronization instructions.
+ *
+ * Multistage networks make conventional locked bus cycles impossible, so
+ * Cedar executes indivisible synchronization instructions *inside* each
+ * memory module, on a small synchronization processor. Besides plain
+ * Test-And-Set, the Zhu-Yew instructions implement Test-And-Operate: the
+ * Test is any relational comparison on 32-bit data and the Operate is a
+ * Read, Write, Add, Subtract, or logical operation, performed only when
+ * the test succeeds. A CE reaches these through memory-mapped
+ * instructions initiated by a Test-And-Set to a global address.
+ */
+
+#ifndef CEDARSIM_MEM_SYNCOPS_HH
+#define CEDARSIM_MEM_SYNCOPS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cedar::mem {
+
+/** Relational test applied to the memory cell before operating. */
+enum class SyncTest : std::uint8_t
+{
+    always, ///< unconditional (plain fetch-and-op)
+    eq,     ///< cell == test operand
+    ne,     ///< cell != test operand
+    lt,     ///< cell <  test operand
+    le,     ///< cell <= test operand
+    gt,     ///< cell >  test operand
+    ge,     ///< cell >= test operand
+};
+
+/** Operation applied to the cell when the test succeeds. */
+enum class SyncOperate : std::uint8_t
+{
+    read,      ///< return the cell, leave it unchanged
+    write,     ///< store the operand
+    add,       ///< cell += operand
+    subtract,  ///< cell -= operand
+    logic_and, ///< cell &= operand
+    logic_or,  ///< cell |= operand
+    set_one,   ///< Test-And-Set: store 1
+};
+
+/** A complete synchronization instruction as shipped to a module. */
+struct SyncOp
+{
+    SyncTest test = SyncTest::always;
+    std::int32_t test_operand = 0;
+    SyncOperate operate = SyncOperate::read;
+    std::int32_t operand = 0;
+
+    /** Classic Test-And-Set on a lock cell. */
+    static SyncOp
+    testAndSet()
+    {
+        return SyncOp{SyncTest::eq, 0, SyncOperate::set_one, 0};
+    }
+
+    /** Unconditional fetch-and-add (loop self-scheduling primitive). */
+    static SyncOp
+    fetchAndAdd(std::int32_t delta)
+    {
+        return SyncOp{SyncTest::always, 0, SyncOperate::add, delta};
+    }
+
+    /** Conditional decrement used by counting barriers. */
+    static SyncOp
+    testGtAndSub(std::int32_t bound, std::int32_t delta)
+    {
+        return SyncOp{SyncTest::gt, bound, SyncOperate::subtract, delta};
+    }
+};
+
+/** Outcome of executing a SyncOp on a cell. */
+struct SyncResult
+{
+    std::int32_t old_value; ///< cell contents before the operation
+    bool success;           ///< whether the test passed (op performed)
+};
+
+/**
+ * Functional semantics of a SyncOp, shared by the module model and the
+ * unit tests. Indivisibility is guaranteed by the caller (one sync
+ * processor per module, FCFS).
+ */
+inline SyncResult
+applySyncOp(std::int32_t &cell, const SyncOp &op)
+{
+    std::int32_t old = cell;
+    bool pass = false;
+    switch (op.test) {
+      case SyncTest::always: pass = true; break;
+      case SyncTest::eq: pass = cell == op.test_operand; break;
+      case SyncTest::ne: pass = cell != op.test_operand; break;
+      case SyncTest::lt: pass = cell < op.test_operand; break;
+      case SyncTest::le: pass = cell <= op.test_operand; break;
+      case SyncTest::gt: pass = cell > op.test_operand; break;
+      case SyncTest::ge: pass = cell >= op.test_operand; break;
+    }
+    if (pass) {
+        switch (op.operate) {
+          case SyncOperate::read: break;
+          case SyncOperate::write: cell = op.operand; break;
+          case SyncOperate::add: cell += op.operand; break;
+          case SyncOperate::subtract: cell -= op.operand; break;
+          case SyncOperate::logic_and: cell &= op.operand; break;
+          case SyncOperate::logic_or: cell |= op.operand; break;
+          case SyncOperate::set_one: cell = 1; break;
+        }
+    }
+    return SyncResult{old, pass};
+}
+
+/** Human-readable name for diagnostics. */
+std::string syncOperateName(SyncOperate op);
+
+} // namespace cedar::mem
+
+#endif // CEDARSIM_MEM_SYNCOPS_HH

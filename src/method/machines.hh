@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reference comparison machines of Section 4.3: the Cray Y-MP/8, the
+ * Cray 1, and the Thinking Machines CM-5.
+ *
+ * The paper compares Cedar against published measurements of these
+ * systems; it does not model them. We therefore carry them as data:
+ * per-code rate vectors and manual-optimization efficiencies for the
+ * Crays, and a calibrated analytic banded matrix-vector model for the
+ * CM-5 (whose communication structure bounds it; [FWPS92]).
+ *
+ * The per-code columns of the scanned paper are unreadable, so the
+ * vectors here are calibrated estimates chosen to reproduce every
+ * aggregate the text states: the instability triples of Table 5, the
+ * band counts of Table 6 and Figure 3, and the Y-MP-to-Cedar
+ * harmonic-mean MFLOPS ratio of 7.4. EXPERIMENTS.md records each
+ * reproduced statement.
+ */
+
+#ifndef CEDARSIM_METHOD_MACHINES_HH
+#define CEDARSIM_METHOD_MACHINES_HH
+
+#include <string>
+#include <vector>
+
+#include "method/metrics.hh"
+
+namespace cedar::method {
+
+/** One Perfect code's results on a reference machine. */
+struct RefCodeResult
+{
+    std::string code;
+    /** MFLOPS with the machine's baseline (automatic) compiler. */
+    double auto_mflops;
+    /** Speedup over serial with the baseline compiler. */
+    double auto_speedup;
+    /** Efficiency after manual optimization (Figure 3). */
+    double manual_efficiency;
+};
+
+/** A reference machine's published-results record. */
+struct ReferenceMachine
+{
+    std::string name;
+    unsigned processors;
+    /** Cycle time in nanoseconds (the paper quotes 170/6 = 28.33 as
+     *  the Cedar-to-YMP clock ratio). */
+    double clock_ns;
+    std::vector<RefCodeResult> codes;
+
+    /** Baseline-compiler rate vector, code order as stored. */
+    std::vector<double> autoRates() const;
+
+    /** Baseline-compiler speedups. */
+    std::vector<double> autoSpeedups() const;
+
+    /** Manual-optimization efficiencies. */
+    std::vector<double> manualEfficiencies() const;
+};
+
+/** The 8-processor Cray Y-MP (6 ns clock). */
+const ReferenceMachine &ympRef();
+
+/** The Cray 1 (12.5 ns clock), with a modern compiler. */
+const ReferenceMachine &cray1Ref();
+
+/** Canonical Perfect Benchmarks code order used everywhere. */
+const std::vector<std::string> &perfectCodeNames();
+
+// ---------------------------------------------------------------------
+// CM-5 banded matrix-vector model (Section 4.3, PPT4)
+// ---------------------------------------------------------------------
+
+/** Parameters of the CM-5 studied in [FWPS92]: no FP accelerators. */
+struct Cm5Model
+{
+    /** Per-node scalar rate in MFLOPS (SPARC node, no vector units). */
+    double node_mflops = 4.5;
+    /** Fraction of time lost to communication for bandwidth-3 stencils
+     *  at 32 nodes (fitted to the published 28-32 MFLOPS range). */
+    double comm_fraction_bw3 = 0.787;
+    /** Same for bandwidth-11 (more flops per transferred point). */
+    double comm_fraction_bw11 = 0.567;
+
+    /**
+     * Delivered MFLOPS for a banded matvec.
+     * @param bandwidth matrix bandwidth (3 or 11 in the paper)
+     * @param n         problem size (16K..256K published)
+     * @param processors node count (32, 256, or 512)
+     */
+    double mflops(unsigned bandwidth, double n, unsigned processors) const;
+
+    /**
+     * Band classification relative to @p processors. The CM-5 shows
+     * scalable *intermediate* performance in the published ranges:
+     * high performance was not achieved relative to 32, 256, or 512
+     * processors.
+     */
+    Band band(unsigned bandwidth, double n, unsigned processors) const;
+};
+
+} // namespace cedar::method
+
+#endif // CEDARSIM_METHOD_MACHINES_HH

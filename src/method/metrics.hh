@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Performance metrics and acceptability bands from Section 4.3.
+ *
+ * The paper proposes P/2 and P/(2 log2 P), for P >= 8, as the levels
+ * denoting *high* and *acceptable* performance: speedups at or above
+ * P/2 are high, between the two levels intermediate, and below
+ * P/(2 log2 P) unacceptable.
+ */
+
+#ifndef CEDARSIM_METHOD_METRICS_HH
+#define CEDARSIM_METHOD_METRICS_HH
+
+#include <cmath>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace cedar::method {
+
+/** Speedup of a parallel run over the serial (scalar) time. */
+inline double
+speedup(double serial_time, double parallel_time)
+{
+    sim_assert(parallel_time > 0.0, "parallel time must be positive");
+    return serial_time / parallel_time;
+}
+
+/** Efficiency Ep = speedup / P. */
+inline double
+efficiency(double spdup, unsigned processors)
+{
+    sim_assert(processors > 0, "need at least one processor");
+    return spdup / static_cast<double>(processors);
+}
+
+/** The paper's three performance bands. */
+enum class Band
+{
+    high,         ///< speedup >= P/2 (efficiency >= 1/2)
+    intermediate, ///< speedup >= P / (2 log2 P)
+    unacceptable, ///< below the acceptable level
+};
+
+/** Speedup threshold for the high band. */
+inline double
+highThreshold(unsigned processors)
+{
+    return processors / 2.0;
+}
+
+/** Speedup threshold for the acceptable (intermediate) band. */
+inline double
+acceptableThreshold(unsigned processors)
+{
+    sim_assert(processors >= 2, "thresholds need P >= 2");
+    return processors / (2.0 * std::log2(static_cast<double>(processors)));
+}
+
+/** Classify a speedup on P processors into a band. */
+inline Band
+classify(double spdup, unsigned processors)
+{
+    if (spdup >= highThreshold(processors))
+        return Band::high;
+    if (spdup >= acceptableThreshold(processors))
+        return Band::intermediate;
+    return Band::unacceptable;
+}
+
+/** Classify from an efficiency value. */
+inline Band
+classifyEfficiency(double eff, unsigned processors)
+{
+    return classify(eff * processors, processors);
+}
+
+/** Printable band name. */
+inline const char *
+bandName(Band b)
+{
+    switch (b) {
+      case Band::high: return "high";
+      case Band::intermediate: return "intermediate";
+      case Band::unacceptable: return "unacceptable";
+    }
+    return "?";
+}
+
+/** Tally of codes per band (Table 6 and Figure 3 summaries). */
+struct BandCount
+{
+    unsigned high = 0;
+    unsigned intermediate = 0;
+    unsigned unacceptable = 0;
+
+    void
+    add(Band b)
+    {
+        switch (b) {
+          case Band::high: ++high; break;
+          case Band::intermediate: ++intermediate; break;
+          case Band::unacceptable: ++unacceptable; break;
+        }
+    }
+
+    unsigned total() const { return high + intermediate + unacceptable; }
+};
+
+} // namespace cedar::method
+
+#endif // CEDARSIM_METHOD_METRICS_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Practical Parallelism Test evaluators.
+ */
+
+#include "ppt.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cedar::method {
+
+Ppt1Result
+evaluatePpt1(const std::vector<double> &speedups, unsigned processors)
+{
+    Ppt1Result result{};
+    for (double s : speedups)
+        result.bands.add(classify(s, processors));
+    // "Both the Cray YMP and Cedar are on the average acceptable,
+    // delivering intermediate parallel performance": pass when the
+    // acceptable codes outnumber the unacceptable ones.
+    result.passed = result.bands.high + result.bands.intermediate >
+                    result.bands.unacceptable;
+    return result;
+}
+
+Ppt2Result
+evaluatePpt2(const std::vector<double> &rates,
+             unsigned max_small_exceptions)
+{
+    Ppt2Result result{};
+    result.instability_raw = instability(rates, 0);
+    result.exceptions_needed =
+        exclusionsForStability(rates, workstation_instability);
+    result.instability_at_e =
+        result.exceptions_needed < rates.size()
+            ? instability(rates, result.exceptions_needed)
+            : result.instability_raw;
+    result.passed = result.exceptions_needed <= max_small_exceptions;
+    return result;
+}
+
+Ppt3Result
+evaluatePpt3(const std::vector<double> &speedups, unsigned processors)
+{
+    Ppt3Result result{};
+    for (double s : speedups)
+        result.bands.add(classify(s, processors));
+    result.promising =
+        result.bands.high > 0 &&
+        result.bands.intermediate >= result.bands.unacceptable;
+    return result;
+}
+
+Ppt4Result
+evaluatePpt4(const std::vector<ScalePoint> &points)
+{
+    sim_assert(!points.empty(), "PPT4 needs observations");
+    Ppt4Result result{};
+    result.bands.reserve(points.size());
+
+    unsigned max_p = 0;
+    for (const auto &pt : points)
+        max_p = std::max(max_p, pt.processors);
+
+    bool any_unacceptable = false;
+    double high_n = 0.0;
+    std::vector<double> max_p_speedups;
+    std::vector<double> high_speedups;
+    std::vector<double> intermediate_speedups;
+    for (const auto &pt : points) {
+        Band b = classify(pt.speedup, pt.processors);
+        result.bands.push_back(b);
+        if (b == Band::unacceptable)
+            any_unacceptable = true;
+        if (pt.processors == max_p) {
+            max_p_speedups.push_back(pt.speedup);
+            if (b == Band::high) {
+                high_speedups.push_back(pt.speedup);
+                if (high_n == 0.0 || pt.problem_size < high_n)
+                    high_n = pt.problem_size;
+            } else if (b == Band::intermediate) {
+                intermediate_speedups.push_back(pt.speedup);
+            }
+        }
+    }
+    auto regime_st = [](const std::vector<double> &v) {
+        return v.size() > 1 ? stability(v, 0) : 1.0;
+    };
+    result.high_band_threshold_n = high_n;
+    result.size_stability = regime_st(max_p_speedups);
+    result.high_stability = regime_st(high_speedups);
+    result.intermediate_stability = regime_st(intermediate_speedups);
+    // The paper's criterion: High/Intermediate efficiency and a
+    // stability range of 0.5 <= St(P, N, 1, 0) <= 1 over data sizes,
+    // applied within each performance regime.
+    result.scalable = !any_unacceptable &&
+                      result.high_stability >= 0.5 &&
+                      result.intermediate_stability >= 0.5;
+    result.scalable_high = result.scalable && high_n > 0.0;
+    return result;
+}
+
+} // namespace cedar::method

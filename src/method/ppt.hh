@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The five Practical Parallelism Tests (PPTs) of Section 4.3.
+ *
+ * The Fundamental Principle of Parallel Processing holds that clock
+ * speed is interchangeable with parallelism while (A) maintaining
+ * delivered performance that is (B) stable over a class of
+ * computations. The paper splits this, plus commercial viability, into
+ * five tests; this header provides evaluators for the four the paper
+ * applies (PPT5, scalable reimplementability, is explicitly left to
+ * future simulation studies — as it is here).
+ */
+
+#ifndef CEDARSIM_METHOD_PPT_HH
+#define CEDARSIM_METHOD_PPT_HH
+
+#include <string>
+#include <vector>
+
+#include "method/metrics.hh"
+#include "method/stability.hh"
+
+namespace cedar::method {
+
+/** PPT1 — Delivered performance: band tally over a code ensemble. */
+struct Ppt1Result
+{
+    BandCount bands;
+    /** Passing means the ensemble delivers at least intermediate
+     *  performance on average (no majority of unacceptables). */
+    bool passed;
+};
+
+Ppt1Result evaluatePpt1(const std::vector<double> &speedups,
+                        unsigned processors);
+
+/** PPT2 — Stable performance: instability with exceptions. */
+struct Ppt2Result
+{
+    double instability_raw;     ///< In(K, 0)
+    unsigned exceptions_needed; ///< e to reach workstation stability
+    double instability_at_e;    ///< In(K, e) at that e
+    /** Passing: workstation-level stability with a small number of
+     *  exceptions (the paper accepts 2, rejects the YMP's 6). */
+    bool passed;
+};
+
+Ppt2Result evaluatePpt2(const std::vector<double> &rates,
+                        unsigned max_small_exceptions = 2);
+
+/** PPT3 — Portability/programmability via compiled performance. */
+struct Ppt3Result
+{
+    BandCount bands; ///< restructured/compiled efficiency bands
+    /** The paper's conclusion is prospective: acceptable levels are
+     *  reachable in the next few years; pass = any code already at
+     *  high or more intermediate than unacceptable. */
+    bool promising;
+};
+
+Ppt3Result evaluatePpt3(const std::vector<double> &speedups,
+                        unsigned processors);
+
+/** One (P, N) observation of a scaling study. */
+struct ScalePoint
+{
+    unsigned processors;
+    double problem_size;
+    double speedup;
+};
+
+/** PPT4 — Code and architecture scalability over (P, N). */
+struct Ppt4Result
+{
+    /** Band of every observation. */
+    std::vector<Band> bands;
+    /** Smallest problem size showing high performance at max P,
+     *  0 if none. */
+    double high_band_threshold_n;
+    /** Stability over problem size at fixed max P, all observations. */
+    double size_stability;
+    /** Stability within the high-band regime at max P (1 if empty). */
+    double high_stability;
+    /** Stability within the intermediate regime at max P (1 if empty). */
+    double intermediate_stability;
+    /** Scalable if no observation is unacceptable and each regime's
+     *  size stability satisfies the paper's 0.5 <= St <= 1 criterion
+     *  (the paper finds Cedar "scalable with high performance for many
+     *  problem sizes and with intermediate performance for
+     *  debugging-sized runs" — two regimes, each stable). */
+    bool scalable;
+    /** True if the scalable range includes the high band. */
+    bool scalable_high;
+};
+
+Ppt4Result evaluatePpt4(const std::vector<ScalePoint> &points);
+
+} // namespace cedar::method
+
+#endif // CEDARSIM_METHOD_PPT_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Stability metric implementation.
+ */
+
+#include "stability.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cedar::method {
+
+double
+stability(const std::vector<double> &rates, unsigned exclusions)
+{
+    sim_assert(!rates.empty(), "stability of an empty ensemble");
+    sim_assert(exclusions < rates.size(),
+               "cannot exclude the whole ensemble");
+    std::vector<double> sorted = rates;
+    std::sort(sorted.begin(), sorted.end());
+    sim_assert(sorted.front() > 0.0, "rates must be positive");
+
+    double best = 0.0;
+    for (unsigned low = 0; low <= exclusions; ++low) {
+        unsigned high = exclusions - low;
+        double mn = sorted[low];
+        double mx = sorted[sorted.size() - 1 - high];
+        best = std::max(best, mn / mx);
+    }
+    return best;
+}
+
+double
+instability(const std::vector<double> &rates, unsigned exclusions)
+{
+    return 1.0 / stability(rates, exclusions);
+}
+
+unsigned
+exclusionsForStability(const std::vector<double> &rates, double threshold)
+{
+    for (unsigned e = 0; e < rates.size(); ++e) {
+        if (instability(rates, e) <= threshold)
+            return e;
+    }
+    return static_cast<unsigned>(rates.size());
+}
+
+} // namespace cedar::method

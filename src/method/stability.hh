@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The stability metric St(P, Ni, K, e) of Section 4.3.
+ *
+ * Stability of an ensemble of K computations is the ratio of the
+ * minimum to the maximum performance after excluding e computations
+ * whose results are outliers. Instability is its inverse. Outliers are
+ * excluded optimally: the e dropped codes are chosen (from either end
+ * of the sorted rates) to make the remaining ensemble as stable as
+ * possible, matching the paper's usage of "exceptions required to
+ * achieve workstation-level stability".
+ */
+
+#ifndef CEDARSIM_METHOD_STABILITY_HH
+#define CEDARSIM_METHOD_STABILITY_HH
+
+#include <vector>
+
+namespace cedar::method {
+
+/**
+ * St(K, e): min/max performance ratio after the best choice of @p e
+ * exclusions. Returns a value in (0, 1].
+ */
+double stability(const std::vector<double> &rates, unsigned exclusions);
+
+/** In(K, e) = 1 / St(K, e). */
+double instability(const std::vector<double> &rates, unsigned exclusions);
+
+/**
+ * Smallest number of exclusions bringing instability to or below
+ * @p threshold (the paper uses 5-6 as the workstation level observed
+ * for twenty years of Perfect runs from the VAX 780 on).
+ * @return exclusions needed, or K if even K-1 exclusions fail
+ */
+unsigned exclusionsForStability(const std::vector<double> &rates,
+                                double threshold);
+
+/** The paper's workstation-level stability bound: stable if In <= 6. */
+constexpr double workstation_instability = 6.0;
+
+} // namespace cedar::method
+
+#endif // CEDARSIM_METHOD_STABILITY_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Topology, routing, and reservation timing for the omega network.
+ */
+
+#include "omega.hh"
+
+namespace cedar::net {
+
+OmegaNetwork::OmegaNetwork(const std::string &name,
+                           std::vector<unsigned> stage_radices,
+                           Cycles hop_latency, Cycles word_occupancy)
+    : Named(name),
+      _radices(std::move(stage_radices)),
+      _hop_latency(hop_latency),
+      _word_occupancy(word_occupancy)
+{
+    sim_assert(!_radices.empty(), "network needs at least one stage");
+    unsigned ports = 1;
+    for (unsigned r : _radices) {
+        sim_assert(r >= 2, "stage radix must be at least 2, got ", r);
+        ports *= r;
+    }
+    _num_ports = ports;
+    _stages.reserve(_radices.size());
+    for (std::size_t s = 0; s < _radices.size(); ++s) {
+        _stages.emplace_back(_num_ports, LinkPort(_word_occupancy));
+    }
+}
+
+std::vector<unsigned>
+OmegaNetwork::routingTag(unsigned dest) const
+{
+    sim_assert(dest < _num_ports, "destination ", dest, " out of range");
+    // Mixed-radix decomposition, most significant digit first: the digit
+    // consumed at stage i has weight equal to the product of the radices
+    // of all later stages.
+    std::vector<unsigned> tag(_radices.size());
+    unsigned weight = _num_ports;
+    for (std::size_t i = 0; i < _radices.size(); ++i) {
+        weight /= _radices[i];
+        tag[i] = (dest / weight) % _radices[i];
+    }
+    return tag;
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+OmegaNetwork::path(unsigned in_port, unsigned dest) const
+{
+    sim_assert(in_port < _num_ports, "input port ", in_port,
+               " out of range");
+    std::vector<unsigned> tag = routingTag(dest);
+    std::vector<std::pair<unsigned, unsigned>> hops;
+    hops.reserve(_radices.size());
+    unsigned c = in_port;
+    for (std::size_t s = 0; s < _radices.size(); ++s) {
+        unsigned r = _radices[s];
+        // Generalized perfect shuffle of the wire index into this stage.
+        c = (c * r) % _num_ports + (c * r) / _num_ports;
+        unsigned sw = c / r;
+        // The tag digit selects the switch output (Lawrie tag control).
+        c = sw * r + tag[s];
+        hops.emplace_back(static_cast<unsigned>(s), c);
+    }
+    sim_assert(c == dest, "routing did not terminate at destination: got ",
+               c, " expected ", dest);
+    return hops;
+}
+
+TraversalResult
+OmegaNetwork::traverse(unsigned in_port, unsigned dest, unsigned words,
+                       Tick inject)
+{
+    sim_assert(words >= 1 && words <= 4,
+               "Cedar packets are one to four words, got ", words);
+    Tick t = inject;
+    Cycles queueing = 0;
+    for (auto [stage, idx] : path(in_port, dest)) {
+        LinkPort &port = _stages[stage][idx];
+        Tick start = port.acquire(t, words);
+        queueing += start - t;
+        t = start + _hop_latency;
+    }
+    _queueing.sample(static_cast<double>(queueing));
+    return TraversalResult{t, t + (words - 1) * _word_occupancy, queueing};
+}
+
+std::uint64_t
+OmegaNetwork::deliveredWords() const
+{
+    std::uint64_t total = 0;
+    for (const LinkPort &p : _stages.back())
+        total += p.wordCount();
+    return total;
+}
+
+void
+OmegaNetwork::resetStats()
+{
+    for (auto &stage : _stages)
+        for (auto &p : stage)
+            p.resetStats();
+    _queueing.reset();
+}
+
+} // namespace cedar::net

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The Cedar multistage shuffle-exchange (omega) network.
+ *
+ * The network is built from crossbar switches with 64-bit-wide paths and
+ * is self-routing: the destination port number, expressed as a sequence
+ * of per-stage digits (Lawrie's tag-control scheme), selects one switch
+ * output at every stage, giving a unique path between any input/output
+ * pair. Stage radices may be mixed (e.g. 8 then 4 for a 32-port network
+ * built from 8x8 crossbars feeding 4-way used switches), as long as the
+ * product of the radices equals the port count.
+ *
+ * Timing uses reservation-based wormhole modeling: a packet's head pays
+ * one hop latency per stage and queues wherever an output port is still
+ * occupied by an earlier packet; the port then stays busy for one
+ * word-occupancy per packet word. Injections must be presented in
+ * nondecreasing time order (the event queue guarantees this), which
+ * makes the model causally exact for latency, interarrival, and
+ * sustained-bandwidth statistics.
+ */
+
+#ifndef CEDARSIM_NET_OMEGA_HH
+#define CEDARSIM_NET_OMEGA_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/port.hh"
+#include "sim/named.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cedar::net {
+
+/** Result of sending one packet through the network. */
+struct TraversalResult
+{
+    /** Tick at which the packet head arrives at the output port. */
+    Tick head_arrival;
+    /** Tick at which the packet tail has fully arrived. */
+    Tick tail_arrival;
+    /** Total cycles spent queueing (contention) along the path. */
+    Cycles queueing;
+};
+
+/**
+ * A unidirectional multistage network (Cedar has two: forward to the
+ * memory modules and reverse back to the processors).
+ */
+class OmegaNetwork : public Named
+{
+  public:
+    /**
+     * @param name            hierarchical component name
+     * @param stage_radices   switch radix per stage; product = port count
+     * @param hop_latency     cycles for a packet head to cross one stage
+     * @param word_occupancy  cycles one word occupies an output port
+     */
+    OmegaNetwork(const std::string &name,
+                 std::vector<unsigned> stage_radices, Cycles hop_latency,
+                 Cycles word_occupancy);
+
+    /** Number of input (= output) ports. */
+    unsigned numPorts() const { return _num_ports; }
+
+    /** Number of stages. */
+    unsigned numStages() const
+    {
+        return static_cast<unsigned>(_radices.size());
+    }
+
+    /** Radix of stage @p s. */
+    unsigned stageRadix(unsigned s) const { return _radices.at(s); }
+
+    /**
+     * Lawrie routing tag for a destination: one output digit per stage.
+     * Following the digits from any input port reaches @p dest.
+     */
+    std::vector<unsigned> routingTag(unsigned dest) const;
+
+    /**
+     * The (stage, output-port-index) pairs a packet visits from
+     * @p in_port to @p dest. Pure topology; no timing side effects.
+     */
+    std::vector<std::pair<unsigned, unsigned>>
+    path(unsigned in_port, unsigned dest) const;
+
+    /**
+     * Send one packet through the network, reserving every output port
+     * along the path.
+     *
+     * @param in_port injecting input port
+     * @param dest    destination output port
+     * @param words   packet length in 64-bit words (1..4 on Cedar)
+     * @param inject  tick at which the packet head enters the network
+     */
+    TraversalResult traverse(unsigned in_port, unsigned dest,
+                             unsigned words, Tick inject);
+
+    /** Minimum (uncontended) head latency through the network. */
+    Cycles
+    minLatency() const
+    {
+        return _hop_latency * numStages();
+    }
+
+    /** Port object, for tests and utilization reports. */
+    const LinkPort &port(unsigned stage, unsigned index) const
+    {
+        return _stages.at(stage).at(index);
+    }
+
+    /** Aggregate words moved through the final stage (delivered). */
+    std::uint64_t deliveredWords() const;
+
+    /** End-to-end queueing distribution across all packets. */
+    const SampleStat &queueingStat() const { return _queueing; }
+
+    void resetStats();
+
+  private:
+    unsigned _num_ports;
+    std::vector<unsigned> _radices;
+    Cycles _hop_latency;
+    Cycles _word_occupancy;
+    /** _stages[s][p]: output port p of stage s (p in [0, numPorts)). */
+    std::vector<std::vector<LinkPort>> _stages;
+    SampleStat _queueing;
+};
+
+} // namespace cedar::net
+
+#endif // CEDARSIM_NET_OMEGA_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A serialized network link with reservation-based timing.
+ *
+ * Every crossbar output port in the Cedar networks carries a 64-bit data
+ * path. A packet occupies the port for (words x occupancy) cycles; later
+ * packets queue behind it. The port keeps utilization and waiting-time
+ * statistics so contention can be observed exactly where the paper's
+ * hardware monitor observed it.
+ */
+
+#ifndef CEDARSIM_NET_PORT_HH
+#define CEDARSIM_NET_PORT_HH
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cedar::net {
+
+/** One serialized 64-bit link (a crossbar output port). */
+class LinkPort
+{
+  public:
+    explicit LinkPort(Cycles occupancy_per_word = 1)
+        : _occupancy(occupancy_per_word)
+    {
+    }
+
+    /**
+     * Reserve the port for a packet.
+     *
+     * @param ready tick at which the packet head is ready to transmit
+     * @param words packet length in 64-bit words
+     * @return tick at which transmission starts (head crosses the port)
+     */
+    Tick
+    acquire(Tick ready, unsigned words)
+    {
+        sim_assert(words > 0, "packet must contain at least one word");
+        Tick start = std::max(ready, _next_free);
+        _wait.sample(static_cast<double>(start - ready));
+        _busy_cycles += words * _occupancy;
+        _words.inc(words);
+        _packets.inc();
+        _next_free = start + words * _occupancy;
+        return start;
+    }
+
+    /** Tick at which the port next becomes idle. */
+    Tick nextFree() const { return _next_free; }
+
+    /** Cycles a packet needs per word on this port. */
+    Cycles occupancyPerWord() const { return _occupancy; }
+
+    /** Total cycles this port has been occupied. */
+    Tick busyCycles() const { return _busy_cycles; }
+
+    /** Total words transferred. */
+    std::uint64_t wordCount() const { return _words.value(); }
+
+    /** Total packets transferred. */
+    std::uint64_t packetCount() const { return _packets.value(); }
+
+    /** Distribution of queueing waits experienced at this port. */
+    const SampleStat &waitStat() const { return _wait; }
+
+    /** Fraction of time busy over an observation window. */
+    double
+    utilization(Tick window) const
+    {
+        if (window == 0)
+            return 0.0;
+        return static_cast<double>(_busy_cycles) /
+               static_cast<double>(window);
+    }
+
+    void
+    resetStats()
+    {
+        _wait.reset();
+        _words.reset();
+        _packets.reset();
+        _busy_cycles = 0;
+    }
+
+  private:
+    Cycles _occupancy;
+    Tick _next_free = 0;
+    Tick _busy_cycles = 0;
+    Counter _words;
+    Counter _packets;
+    SampleStat _wait;
+};
+
+} // namespace cedar::net
+
+#endif // CEDARSIM_NET_PORT_HH

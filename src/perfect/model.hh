@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Execution-time model for the Perfect codes on Cedar.
+ *
+ * The model layers a workload profile (profile.hh) over machine costs
+ * measured from the simulator (runtime overheads, the prefetch and
+ * placement speed ratios from the Table 1 kernels) and evaluates the
+ * restructuring levels of Tables 3 and 4:
+ *
+ *   serial             one CE, scalar
+ *   kap                KAP/Cedar compiled (1988 restructurer)
+ *   automatable        hand-applied but automatable transformations,
+ *                      prefetch + Cedar synchronization
+ *   automatable_nosync same, self-scheduling via Test-And-Set locks
+ *   automatable_nopref same as nosync minus compiler prefetch
+ *   hand               per-code algorithmic rewrites (Table 4)
+ *
+ * For each code the parallel coverage fraction is solved so the
+ * automatable (and KAP) versions hit their calibration targets; the
+ * *differences* between levels then follow from the code's structure
+ * and the measured machine costs, which is exactly the property the
+ * paper's ablation columns probe.
+ */
+
+#ifndef CEDARSIM_PERFECT_MODEL_HH
+#define CEDARSIM_PERFECT_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "perfect/profile.hh"
+
+namespace cedar::perfect {
+
+/** Machine costs consumed by the model; measured on the simulator. */
+struct MachineCosts
+{
+    /** Processors in the full machine. */
+    unsigned processors = 32;
+    /** XDOALL startup, microseconds (paper / microbenchmark: ~90). */
+    double xdoall_startup_us = 90.0;
+    /** Iteration fetch with Cedar synchronization (~30 us). */
+    double iter_fetch_us = 30.0;
+    /** Iteration fetch with the Test-And-Set lock protocol. */
+    double iter_fetch_nosync_us = 90.0;
+    /** One multicluster barrier episode at 32 CEs, microseconds. */
+    double barrier_us = 60.0;
+    /** Slowdown of global vector access without prefetch (Table 1:
+     *  GM/pref over GM/no-pref, ~3.4x). */
+    double nopref_slowdown = 3.4;
+};
+
+/** Restructuring levels the paper evaluates. */
+enum class Level
+{
+    serial,
+    kap,
+    automatable,
+    automatable_nosync,
+    automatable_nopref,
+    hand,
+};
+
+/** Printable level name. */
+const char *levelName(Level level);
+
+/** One code's evaluated execution record. */
+struct CodeResult
+{
+    std::string code;
+    Level level;
+    double seconds;
+    double mflops;
+    double speedup;
+};
+
+/** Evaluates Perfect profiles against machine costs. */
+class PerfectModel
+{
+  public:
+    explicit PerfectModel(const MachineCosts &costs = MachineCosts{});
+
+    /** Evaluate one code at one restructuring level. */
+    CodeResult evaluate(const WorkloadProfile &profile,
+                        Level level) const;
+
+    /** Evaluate the whole suite at one level, canonical order. */
+    std::vector<CodeResult> evaluateSuite(Level level) const;
+
+    /** Automatable-version MFLOPS vector (Table 5 / harmonic mean). */
+    std::vector<double> autoRates() const;
+
+    /** Automatable-version speedups (Table 6 bands). */
+    std::vector<double> autoSpeedups() const;
+
+    /** Best-effort (hand where available) speedups (Figure 3). */
+    std::vector<double> manualSpeedups() const;
+
+    const MachineCosts &costs() const { return _costs; }
+
+  private:
+    /** Parallel-coverage fraction solved for a target speedup. */
+    double solveFraction(const WorkloadProfile &p, double target_speedup,
+                         unsigned processors, double vec_gain) const;
+
+    /** Scheduling overhead for a given coverage, seconds. */
+    double overheadSeconds(const WorkloadProfile &p, double fraction,
+                           unsigned processors, double fetch_us) const;
+
+    MachineCosts _costs;
+};
+
+} // namespace cedar::perfect
+
+#endif // CEDARSIM_PERFECT_MODEL_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Workload-profile models of the thirteen Perfect Benchmarks codes.
+ *
+ * The Perfect codes themselves are large Fortran applications we
+ * cannot run; what Tables 3-6 need from them is how each code's
+ * execution time responds to Cedar's mechanisms. A WorkloadProfile
+ * captures the structural characterization the paper discusses per
+ * code — parallel coverage, loop granularity, vectorizability, memory
+ * placement mix, scalar-access and I/O domination — and the
+ * PerfectModel (model.hh) evaluates execution time for each
+ * restructuring level on top of machine costs measured from the
+ * simulator.
+ *
+ * Each profile also carries calibration targets taken from the paper
+ * (or reconstructed from its stated aggregates where the scanned
+ * per-code table is unreadable); DESIGN.md and EXPERIMENTS.md list
+ * them.
+ */
+
+#ifndef CEDARSIM_PERFECT_PROFILE_HH
+#define CEDARSIM_PERFECT_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+namespace cedar::perfect {
+
+/** Structural characterization of one Perfect code on Cedar. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    /** Uniprocessor scalar execution time on one CE, seconds. */
+    double serial_seconds = 0.0;
+    /** Of which: serial I/O time (BDNA's formatted I/O, MG3D's file
+     *  I/O before its elimination). */
+    double io_seconds = 0.0;
+
+    /** Speedup of parallel work from vectorization (per CE). */
+    double vector_gain = 2.0;
+    /** Processors the code's parallelism can actually keep busy
+     *  (DYFESM's limited parallelism, QCD's serial generator). */
+    unsigned usable_processors = 32;
+    /** Mean serial-work microseconds per parallel-loop iteration:
+     *  the granularity that decides self-scheduling overhead. */
+    double loop_body_us = 2000.0;
+    /** Major parallel loop nests entered per run (startup costs). */
+    double parallel_loops = 200.0;
+    /** Multicluster barrier episodes per run (FLO52's sequences). */
+    double barriers = 0.0;
+
+    /** Fraction of parallel-work data that is loop-local / privatized
+     *  into cluster memory (prefetch-insensitive). */
+    double local_fraction = 0.4;
+    /** Fraction dominated by scalar global accesses (TRACK). */
+    double scalar_fraction = 0.1;
+    /** Remaining fraction streams vectors from global memory and is
+     *  what prefetching accelerates. */
+    double
+    globalVectorFraction() const
+    {
+        return 1.0 - local_fraction - scalar_fraction;
+    }
+
+    // ---- calibration targets (paper / reconstructed aggregates) ----
+
+    /** Speed improvement of the automatable version at 32 CEs. */
+    double target_auto_speedup = 4.0;
+    /** MFLOPS of the automatable version (fixes the flop count). */
+    double target_auto_mflops = 3.0;
+    /** Speed improvement of the KAP/Cedar compiled version. */
+    double target_kap_speedup = 1.2;
+    /** KAP version confined to one cluster (paper: done for some codes
+     *  to avoid intercluster overhead). */
+    bool kap_single_cluster = false;
+    /** Hand-optimized execution time, seconds (0 = no hand version;
+     *  Table 4 plus the in-text FLO52/DYFESM/SPICE results). */
+    double hand_seconds = 0.0;
+
+    /** Total floating-point operations (Cray HPM convention). */
+    double
+    flopCount() const
+    {
+        // MFLOPS x automatable seconds.
+        return target_auto_mflops * 1e6 *
+               (serial_seconds / target_auto_speedup);
+    }
+};
+
+/** The thirteen Perfect Benchmarks profiles, canonical order. */
+const std::vector<WorkloadProfile> &perfectSuite();
+
+/** Look up one profile by name. */
+const WorkloadProfile &perfectCode(const std::string &name);
+
+} // namespace cedar::perfect
+
+#endif // CEDARSIM_PERFECT_PROFILE_HH

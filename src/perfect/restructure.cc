@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Transformation catalog implementation.
+ */
+
+#include "restructure.hh"
+
+#include <map>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace cedar::perfect {
+
+const char *
+transformationName(Transformation t)
+{
+    switch (t) {
+      case Transformation::array_privatization:
+        return "array privatization";
+      case Transformation::parallel_reductions:
+        return "parallel reductions";
+      case Transformation::induction_substitution:
+        return "induction substitution";
+      case Transformation::runtime_dep_tests:
+        return "runtime dep tests";
+      case Transformation::balanced_stripmining:
+        return "balanced stripmining";
+      case Transformation::save_return_parallelization:
+        return "SAVE/RETURN parallelization";
+    }
+    return "?";
+}
+
+const char *
+transformationDescription(Transformation t)
+{
+    switch (t) {
+      case Transformation::array_privatization:
+        return "give each iteration a private copy of a scratch array "
+               "so the loop carries no dependence; the privates land in "
+               "cluster memory (loop-local placement)";
+      case Transformation::parallel_reductions:
+        return "recognize sum/min/max recurrences and compute partial "
+               "results per CE with a combining step";
+      case Transformation::induction_substitution:
+        return "replace generalized induction variables with closed "
+               "forms so iterations become independent";
+      case Transformation::runtime_dep_tests:
+        return "guard a parallel version with an inexpensive runtime "
+               "test where static dependence analysis is inconclusive";
+      case Transformation::balanced_stripmining:
+        return "split iteration spaces into strips sized to the vector "
+               "registers and balanced across CEs";
+      case Transformation::save_return_parallelization:
+        return "parallelize loops containing SAVE'd locals or early "
+               "RETURNs by renaming and control restructuring";
+    }
+    return "?";
+}
+
+bool
+requiresAdvancedAnalysis(Transformation t)
+{
+    switch (t) {
+      case Transformation::array_privatization:
+      case Transformation::induction_substitution:
+      case Transformation::save_return_parallelization:
+        return true; // symbolic + interprocedural analysis
+      case Transformation::parallel_reductions:
+      case Transformation::runtime_dep_tests:
+      case Transformation::balanced_stripmining:
+        return false;
+    }
+    return false;
+}
+
+namespace {
+
+using T = Transformation;
+
+const std::map<std::string, std::vector<TransformationUse>> &
+useMap()
+{
+    // Weights: fraction of each code's KAP->automatable gap carried by
+    // the transformation ([EHLP91] discusses which transformations
+    // mattered for which codes; the split within a code is a modeling
+    // estimate).
+    static const std::map<std::string, std::vector<TransformationUse>>
+        uses = {
+            {"ADM",
+             {{T::array_privatization, 0.6},
+              {T::parallel_reductions, 0.4}}},
+            {"ARC2D",
+             {{T::array_privatization, 0.5},
+              {T::balanced_stripmining, 0.5}}},
+            {"BDNA",
+             {{T::array_privatization, 0.5},
+              {T::parallel_reductions, 0.3},
+              {T::induction_substitution, 0.2}}},
+            {"DYFESM",
+             {{T::array_privatization, 0.4},
+              {T::runtime_dep_tests, 0.3},
+              {T::balanced_stripmining, 0.3}}},
+            {"FLO52",
+             {{T::array_privatization, 0.4},
+              {T::balanced_stripmining, 0.3},
+              {T::parallel_reductions, 0.3}}},
+            {"MDG",
+             {{T::array_privatization, 0.5},
+              {T::parallel_reductions, 0.3},
+              {T::save_return_parallelization, 0.2}}},
+            {"MG3D",
+             {{T::induction_substitution, 0.6},
+              {T::runtime_dep_tests, 0.4}}},
+            {"OCEAN",
+             {{T::array_privatization, 0.4},
+              {T::induction_substitution, 0.3},
+              {T::balanced_stripmining, 0.3}}},
+            {"QCD",
+             {{T::array_privatization, 0.6},
+              {T::save_return_parallelization, 0.4}}},
+            {"SPEC77",
+             {{T::array_privatization, 0.4},
+              {T::parallel_reductions, 0.3},
+              {T::balanced_stripmining, 0.3}}},
+            {"SPICE",
+             {{T::runtime_dep_tests, 0.6},
+              {T::save_return_parallelization, 0.4}}},
+            {"TRACK",
+             {{T::array_privatization, 0.5},
+              {T::induction_substitution, 0.5}}},
+            {"TRFD",
+             {{T::array_privatization, 0.4},
+              {T::induction_substitution, 0.3},
+              {T::balanced_stripmining, 0.3}}},
+        };
+    return uses;
+}
+
+} // namespace
+
+const std::vector<TransformationUse> &
+transformationsFor(const std::string &code)
+{
+    auto it = useMap().find(code);
+    sim_assert(it != useMap().end(), "unknown Perfect code '", code, "'");
+    return it->second;
+}
+
+double
+speedupWithout(const PerfectModel &model, const WorkloadProfile &code,
+               Transformation disabled)
+{
+    double automatable =
+        model.evaluate(code, Level::automatable).speedup;
+    double kap = model.evaluate(code, Level::kap).speedup;
+    for (const auto &use : transformationsFor(code.name)) {
+        if (use.transformation == disabled) {
+            // Lose that share of the improvement.
+            double without =
+                automatable - use.weight * (automatable - kap);
+            return std::max(without, std::min(kap, automatable));
+        }
+    }
+    return automatable;
+}
+
+double
+suiteSpeedupWithout(const PerfectModel &model, Transformation disabled)
+{
+    std::vector<double> speedups;
+    for (const auto &code : perfectSuite())
+        speedups.push_back(speedupWithout(model, code, disabled));
+    return harmonicMean(speedups);
+}
+
+} // namespace cedar::perfect

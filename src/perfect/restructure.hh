@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The restructuring transformations of Section 3.3.
+ *
+ * The "automatable" results come from transformations applied by hand
+ * that the authors believed a parallelizer could implement: array
+ * privatization, parallel reductions, advanced induction-variable
+ * substitution, runtime data-dependence tests, balanced stripmining,
+ * and parallelization in the presence of SAVE and RETURN statements —
+ * many requiring advanced symbolic and interprocedural analysis
+ * ([EHLP91], [EHJL91], [EHJP92]). This module makes the catalog a
+ * first-class object: which transformations each Perfect code needs,
+ * and a leave-one-out sensitivity model expressing how much of the
+ * KAP-to-automatable gap each transformation carries per code.
+ */
+
+#ifndef CEDARSIM_PERFECT_RESTRUCTURE_HH
+#define CEDARSIM_PERFECT_RESTRUCTURE_HH
+
+#include <string>
+#include <vector>
+
+#include "perfect/model.hh"
+
+namespace cedar::perfect {
+
+/** The automatable transformations of Section 3.3. */
+enum class Transformation : unsigned
+{
+    array_privatization,
+    parallel_reductions,
+    induction_substitution,
+    runtime_dep_tests,
+    balanced_stripmining,
+    save_return_parallelization,
+};
+
+/** Number of catalogued transformations. */
+constexpr unsigned num_transformations = 6;
+
+/** Short name, e.g. "array privatization". */
+const char *transformationName(Transformation t);
+
+/** One-line description of what the transformation does. */
+const char *transformationDescription(Transformation t);
+
+/** True if the transformation needs advanced symbolic or
+ *  interprocedural analysis (the paper's implementability caveat). */
+bool requiresAdvancedAnalysis(Transformation t);
+
+/** One code's dependence on one transformation. */
+struct TransformationUse
+{
+    Transformation transformation;
+    /** Fraction of the code's KAP-to-automatable improvement carried
+     *  by this transformation (a code's uses sum to 1). */
+    double weight;
+};
+
+/** The transformations a Perfect code needs to reach automatable. */
+const std::vector<TransformationUse> &
+transformationsFor(const std::string &code);
+
+/**
+ * Leave-one-out sensitivity: the projected speedup of @p code when
+ * @p disabled is not applied, interpolating between the KAP and
+ * automatable calibration points by the transformation's weight.
+ * Codes that do not use the transformation are unaffected.
+ */
+double speedupWithout(const PerfectModel &model,
+                      const WorkloadProfile &code,
+                      Transformation disabled);
+
+/**
+ * Suite-wide criticality of a transformation: harmonic-mean speedup
+ * of the automatable suite with it disabled everywhere.
+ */
+double suiteSpeedupWithout(const PerfectModel &model,
+                           Transformation disabled);
+
+} // namespace cedar::perfect
+
+#endif // CEDARSIM_PERFECT_RESTRUCTURE_HH

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The thirteen Perfect Benchmarks profiles.
+ *
+ * Structural parameters follow the paper's per-code discussion:
+ * DYFESM and OCEAN have fine-grained loops (they visibly slow down
+ * without Cedar synchronization), DYFESM streams many vectors from
+ * global memory on limited usable parallelism (big prefetch benefit),
+ * TRACK and SPICE are dominated by scalar accesses, BDNA's serial time
+ * contains heavy formatted I/O, FLO52's major routines run sequences
+ * of multicluster barriers, QCD's random-number generator serializes
+ * it until hand-parallelized, and TRFD/ARC2D/MG3D are the classic
+ * vectorizable codes. Calibration targets reproduce the paper's
+ * stated aggregates (Tables 3-6, Figure 3); see DESIGN.md.
+ */
+
+#include "profile.hh"
+
+#include "sim/logging.hh"
+
+namespace cedar::perfect {
+
+namespace {
+
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> suite;
+    auto add = [&suite](WorkloadProfile p) { suite.push_back(std::move(p)); };
+
+    WorkloadProfile p;
+
+    p = {};
+    p.name = "ADM";
+    p.usable_processors = 16;
+    p.serial_seconds = 126.0;
+    p.io_seconds = 1.0;
+    p.vector_gain = 2.2;
+    p.loop_body_us = 1500.0;
+    p.parallel_loops = 300.0;
+    p.local_fraction = 0.50;
+    p.scalar_fraction = 0.10;
+    p.target_auto_speedup = 4.2;
+    p.target_auto_mflops = 3.4;
+    p.target_kap_speedup = 1.1;
+    add(p);
+
+    p = {};
+    p.name = "ARC2D";
+    p.serial_seconds = 742.5;
+    p.io_seconds = 3.0;
+    p.vector_gain = 3.5;
+    p.loop_body_us = 2500.0;
+    p.parallel_loops = 600.0;
+    p.local_fraction = 0.45;
+    p.scalar_fraction = 0.05;
+    p.target_auto_speedup = 5.5;
+    p.target_auto_mflops = 4.95;
+    p.target_kap_speedup = 2.3;
+    p.hand_seconds = 68.0; // Table 4: unnecessary-computation removal
+                           // plus aggressive data distribution
+    add(p);
+
+    p = {};
+    p.name = "BDNA";
+    p.usable_processors = 16;
+    p.serial_seconds = 480.0;
+    p.io_seconds = 49.0; // formatted I/O; the hand fix makes it
+                         // unformatted
+    p.vector_gain = 2.8;
+    p.loop_body_us = 3000.0;
+    p.parallel_loops = 250.0;
+    p.local_fraction = 0.50;
+    p.scalar_fraction = 0.10;
+    p.target_auto_speedup = 4.1;
+    p.target_auto_mflops = 3.1;
+    p.target_kap_speedup = 1.0;
+    p.hand_seconds = 70.0; // Table 4
+    add(p);
+
+    p = {};
+    p.name = "DYFESM";
+    p.usable_processors = 6;
+    p.serial_seconds = 175.5;
+    p.io_seconds = 1.0;
+    p.vector_gain = 2.4;
+    p.loop_body_us = 40.0; // very small problem size: fine grain
+    p.parallel_loops = 400.0;
+    p.local_fraction = 0.35;
+    p.scalar_fraction = 0.05; // mostly global vector fetches
+    p.target_auto_speedup = 3.9;
+    p.target_auto_mflops = 3.1;
+    p.target_kap_speedup = 1.6;
+    p.hand_seconds = 31.0; // [YaGa93] SDOALL/CDOALL restructuring
+    add(p);
+
+    p = {};
+    p.name = "FLO52";
+    p.serial_seconds = 552.0;
+    p.io_seconds = 1.0;
+    p.vector_gain = 3.2;
+    p.loop_body_us = 800.0;
+    p.parallel_loops = 500.0;
+    p.barriers = 12000.0; // multicluster barrier sequences
+    p.local_fraction = 0.45;
+    p.scalar_fraction = 0.05;
+    p.target_auto_speedup = 6.0;
+    p.target_auto_mflops = 5.22;
+    p.target_kap_speedup = 2.5;
+    p.hand_seconds = 33.0; // [GJWY93] barrier restructuring
+    add(p);
+
+    p = {};
+    p.name = "MDG";
+    p.serial_seconds = 975.0;
+    p.io_seconds = 1.0;
+    p.vector_gain = 2.6;
+    p.loop_body_us = 5000.0;
+    p.parallel_loops = 200.0;
+    p.local_fraction = 0.55;
+    p.scalar_fraction = 0.10;
+    p.target_auto_speedup = 6.5;
+    p.target_auto_mflops = 4.55;
+    p.target_kap_speedup = 1.2;
+    add(p);
+
+    p = {};
+    p.name = "MG3D";
+    p.serial_seconds = 1360.0; // file I/O already eliminated (Table 3
+                               // footnote)
+    p.io_seconds = 0.0;
+    p.vector_gain = 3.8;
+    p.loop_body_us = 8000.0;
+    p.parallel_loops = 300.0;
+    p.local_fraction = 0.50;
+    p.scalar_fraction = 0.05;
+    p.target_auto_speedup = 17.0; // the suite's one high-band code
+    p.target_auto_mflops = 18.7;
+    p.target_kap_speedup = 2.9;
+    add(p);
+
+    p = {};
+    p.name = "OCEAN";
+    p.usable_processors = 12;
+    p.serial_seconds = 380.0;
+    p.io_seconds = 1.0;
+    p.vector_gain = 2.2;
+    p.loop_body_us = 60.0; // fine grain: needs cheap self-scheduling
+    p.parallel_loops = 800.0;
+    p.local_fraction = 0.40;
+    p.scalar_fraction = 0.10;
+    p.target_auto_speedup = 4.0;
+    p.target_auto_mflops = 3.0;
+    p.target_kap_speedup = 1.1;
+    add(p);
+
+    p = {};
+    p.name = "QCD";
+    p.usable_processors = 8;
+    p.serial_seconds = 430.0;
+    p.io_seconds = 1.0;
+    p.vector_gain = 1.3; // serial random-number generator
+    p.loop_body_us = 500.0;
+    p.parallel_loops = 400.0;
+    p.local_fraction = 0.50;
+    p.scalar_fraction = 0.25;
+    p.target_auto_speedup = 1.8; // paper, Section 4.2
+    p.target_auto_mflops = 1.62;
+    p.target_kap_speedup = 0.9;
+    p.kap_single_cluster = true;
+    p.hand_seconds = 21.0; // Table 4: hand-coded parallel RNG
+    add(p);
+
+    p = {};
+    p.name = "SPEC77";
+    p.serial_seconds = 550.0;
+    p.io_seconds = 2.0;
+    p.vector_gain = 2.9;
+    p.loop_body_us = 2000.0;
+    p.parallel_loops = 400.0;
+    p.local_fraction = 0.50;
+    p.scalar_fraction = 0.10;
+    p.target_auto_speedup = 5.0;
+    p.target_auto_mflops = 4.5;
+    p.target_kap_speedup = 1.3;
+    add(p);
+
+    p = {};
+    p.name = "SPICE";
+    p.usable_processors = 4;
+    p.serial_seconds = 90.0;
+    p.io_seconds = 1.0;
+    p.vector_gain = 1.1;
+    p.loop_body_us = 300.0;
+    p.parallel_loops = 150.0;
+    p.local_fraction = 0.40;
+    p.scalar_fraction = 0.50; // sparse scalar chasing
+    p.target_auto_speedup = 2.37;
+    p.target_auto_mflops = 0.295;
+    p.target_kap_speedup = 0.8;
+    p.kap_single_cluster = true;
+    p.hand_seconds = 26.0; // in-text: new approaches per phase
+    add(p);
+
+    p = {};
+    p.name = "TRACK";
+    p.usable_processors = 4;
+    p.serial_seconds = 37.5;
+    p.io_seconds = 0.5;
+    p.vector_gain = 1.2;
+    p.loop_body_us = 400.0;
+    p.parallel_loops = 150.0;
+    p.local_fraction = 0.30;
+    p.scalar_fraction = 0.60; // domination of scalar accesses
+    p.target_auto_speedup = 1.5;
+    p.target_auto_mflops = 0.90;
+    p.target_kap_speedup = 1.0;
+    p.kap_single_cluster = true;
+    p.hand_seconds = 11.0;
+    add(p);
+
+    p = {};
+    p.name = "TRFD";
+    p.serial_seconds = 70.0;
+    p.io_seconds = 0.5;
+    p.vector_gain = 3.0;
+    p.loop_body_us = 900.0;
+    p.parallel_loops = 250.0;
+    p.local_fraction = 0.45;
+    p.scalar_fraction = 0.05;
+    p.target_auto_speedup = 3.4;
+    p.target_auto_mflops = 3.0;
+    p.target_kap_speedup = 2.1;
+    p.hand_seconds = 7.5; // Table 4: kernels + distributed-memory fix
+    add(p);
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+perfectSuite()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+const WorkloadProfile &
+perfectCode(const std::string &name)
+{
+    for (const auto &p : perfectSuite())
+        if (p.name == name)
+            return p;
+    panic("unknown Perfect code '", name, "'");
+}
+
+} // namespace cedar::perfect

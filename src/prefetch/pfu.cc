@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Prefetch unit implementation.
+ */
+
+#include "pfu.hh"
+
+#include <algorithm>
+
+namespace cedar::prefetch {
+
+PrefetchUnit::PrefetchUnit(const std::string &name, Simulation &sim,
+                           mem::GlobalMemory &gm, unsigned port,
+                           const PfuParams &params)
+    : Named(name), _sim(sim), _gm(gm), _port(port), _params(params)
+{
+    sim_assert(_params.buffer_words > 0, "PFU buffer must be non-empty");
+    _arrivals.reserve(_params.buffer_words);
+}
+
+void
+PrefetchUnit::fire(Addr start, unsigned length, unsigned stride, Tick when)
+{
+    _mask.clear();
+    beginFire(start, length, stride, when);
+}
+
+void
+PrefetchUnit::fireMasked(Addr start, unsigned length, unsigned stride,
+                         const std::vector<bool> &mask, Tick when)
+{
+    sim_assert(mask.size() == length, "mask must cover the vector: ",
+               mask.size(), " bits for ", length, " words");
+    _mask = mask;
+    beginFire(start, length, stride, when);
+}
+
+void
+PrefetchUnit::beginFire(Addr start, unsigned length, unsigned stride,
+                        Tick when)
+{
+    sim_assert(length <= _params.buffer_words, "prefetch of ", length,
+               " words exceeds the ", _params.buffer_words,
+               "-word buffer");
+    sim_assert(stride >= 1, "prefetch stride must be at least 1");
+    sim_assert(mem::isGlobal(start), "prefetch of non-global address");
+
+    // Starting a new prefetch invalidates the buffer (paper, Section 2).
+    ++_generation;
+    _start = start;
+    _stride = stride;
+    _length = length;
+    _next_issue = 0;
+    _arrived = 0;
+    _arrivals.assign(length, max_tick);
+    _request_arrivals.clear();
+
+    _enabled_count = 0;
+    for (unsigned i = 0; i < length; ++i)
+        if (enabled(i))
+            ++_enabled_count;
+    skipDisabled();
+    if (_enabled_count == 0)
+        return;
+
+    std::uint64_t gen = _generation;
+    _sim.schedule(when, [this, gen] {
+        if (gen == _generation)
+            issueNext();
+    });
+}
+
+bool
+PrefetchUnit::enabled(unsigned index) const
+{
+    return _mask.empty() || _mask[index];
+}
+
+void
+PrefetchUnit::skipDisabled()
+{
+    while (_next_issue < _length && !enabled(_next_issue))
+        ++_next_issue;
+}
+
+bool
+PrefetchUnit::canReuse(unsigned first, unsigned count) const
+{
+    if (count == 0 || first + count > _length)
+        return false;
+    for (unsigned i = first; i < first + count; ++i)
+        if (!enabled(i))
+            return false;
+    return true;
+}
+
+void
+PrefetchUnit::issueNext()
+{
+    unsigned i = _next_issue++;
+    Tick now = _sim.curTick();
+    Addr addr = _start + static_cast<Addr>(i) * _stride;
+
+    _requests.inc();
+    auto res = _gm.read(_port, addr, now);
+    Tick in_buffer = res.data_at_port + _params.buffer_fill;
+    _arrivals[i] = in_buffer;
+    _request_arrivals.push_back(in_buffer);
+    ++_arrived;
+    _latency.sample(static_cast<double>(in_buffer - now));
+
+    answerQueries();
+    if (_arrived == _enabled_count)
+        finishBlock();
+
+    skipDisabled();
+    if (_next_issue < _length) {
+        // Only physical addresses are available to the PFU: crossing into
+        // a new 4 KB page suspends issue until the CE supplies the first
+        // address of the new page.
+        Addr next_addr = _start + static_cast<Addr>(_next_issue) * _stride;
+        Tick next = now + _params.issue_interval;
+        if (_request_arrivals.size() >= _params.max_outstanding) {
+            // Network flow control: wait for an older response before
+            // injecting another request.
+            Tick window = _request_arrivals[_request_arrivals.size() -
+                                            _params.max_outstanding];
+            next = std::max(next, window);
+        }
+        if (mem::pageOf(next_addr) != mem::pageOf(addr)) {
+            _page_crossings.inc();
+            next += _params.page_cross_penalty;
+        }
+        std::uint64_t gen = _generation;
+        _sim.schedule(next, [this, gen] {
+            if (gen == _generation)
+                issueNext();
+        });
+    }
+}
+
+void
+PrefetchUnit::finishBlock()
+{
+    // Table 2's "Interarrival": gaps between successive data returns,
+    // i.e. differences of the sorted arrival times within the block.
+    if (_request_arrivals.size() < 2)
+        return;
+    std::vector<Tick> sorted = _request_arrivals;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        _interarrival.sample(
+            static_cast<double>(sorted[i] - sorted[i - 1]));
+    }
+}
+
+Tick
+PrefetchUnit::wordArrival(unsigned index) const
+{
+    sim_assert(index < _length, "word index ", index,
+               " outside prefetch of ", _length, " words");
+    return _arrivals[index];
+}
+
+void
+PrefetchUnit::whenConsumed(unsigned first, unsigned count, Tick start,
+                           std::function<void(Tick)> callback)
+{
+    sim_assert(count > 0, "empty consumption query");
+    sim_assert(first + count <= _length, "consumption of [", first, ",",
+               first + count, ") outside prefetch of ", _length,
+               " words");
+    _queries.push_back(Query{first + count - 1, first, count, start,
+                             std::move(callback)});
+    answerQueries();
+}
+
+void
+PrefetchUnit::answerQueries()
+{
+    // Answer every query whose words have all arrived. The consumption
+    // model is in-order streaming gated by the full/empty bits: each
+    // word drains one per cycle but never before it is present; words
+    // masked out of the prefetch are skipped.
+    for (std::size_t q = 0; q < _queries.size();) {
+        Query &query = _queries[q];
+        bool all_known = true;
+        for (unsigned i = query.first; i <= query.last && all_known;
+             ++i) {
+            if (enabled(i) && _arrivals[i] == max_tick)
+                all_known = false;
+        }
+        if (!all_known) {
+            ++q;
+            continue;
+        }
+        Tick t = query.start;
+        for (unsigned i = query.first; i <= query.last; ++i) {
+            if (!enabled(i))
+                continue;
+            Tick available = _arrivals[i] + _params.drain_cycles;
+            t = std::max(t + 1, available);
+        }
+        auto cb = std::move(query.callback);
+        _queries.erase(_queries.begin() +
+                       static_cast<std::ptrdiff_t>(q));
+        Tick fire_at = std::max(t, _sim.curTick());
+        _sim.schedule(fire_at, [cb = std::move(cb), t] { cb(t); });
+    }
+}
+
+void
+PrefetchUnit::resetStats()
+{
+    _latency.reset();
+    _interarrival.reset();
+    _requests.reset();
+    _page_crossings.reset();
+}
+
+} // namespace cedar::prefetch

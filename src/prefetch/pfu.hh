@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The Cedar data prefetch unit (PFU).
+ *
+ * Each CE owns a PFU designed to mask the long global-memory latency and
+ * to overcome the CE's limit of two outstanding requests. A PFU is
+ * "armed" with the length, stride, and mask of a vector and "fired" with
+ * the physical address of the first word. It then issues up to 512
+ * requests without pausing, except that it must suspend at 4 KB page
+ * boundaries until the processor supplies the first physical address in
+ * the new page. Data returns to a 512-word buffer, possibly out of
+ * order; a full/empty bit per word lets the CE consume in request order
+ * without waiting for the whole block.
+ */
+
+#ifndef CEDARSIM_PREFETCH_PFU_HH
+#define CEDARSIM_PREFETCH_PFU_HH
+
+#include <functional>
+#include <vector>
+
+#include "mem/address.hh"
+#include "mem/globalmem.hh"
+#include "sim/engine.hh"
+#include "sim/named.hh"
+#include "sim/stats.hh"
+
+namespace cedar::prefetch {
+
+/** Construction parameters for a PFU. */
+struct PfuParams
+{
+    /** Prefetch buffer capacity in words (hardware: 512). */
+    unsigned buffer_words = 512;
+    /** Cycles between successive request issues. */
+    Cycles issue_interval = 2;
+    /** Requests in flight before network flow control stalls the PFU
+     *  (the two-word switch queues push back well before the 512-word
+     *  buffer fills). */
+    unsigned max_outstanding = 32;
+    /** Cycles to write a returning word into the buffer. */
+    Cycles buffer_fill = 2;
+    /** Cycles to arm and fire (CE-side instruction cost). */
+    Cycles arm_fire_cycles = 4;
+    /** CE stall when the PFU suspends at a page boundary. */
+    Cycles page_cross_penalty = 16;
+    /** Cycles to drain one word from the buffer into the CE. */
+    Cycles drain_cycles = 1;
+};
+
+/**
+ * One prefetch unit, bound to a CE's global-memory port.
+ *
+ * The PFU issues its requests as simulation events (so its injections
+ * interleave correctly with all other traffic) and records the arrival
+ * tick of every word. Consumers ask for the completion time of an
+ * in-order streaming read of a word range; if some arrivals are not yet
+ * known the query is answered as soon as they are.
+ */
+class PrefetchUnit : public Named
+{
+  public:
+    PrefetchUnit(const std::string &name, Simulation &sim,
+                 mem::GlobalMemory &gm, unsigned port,
+                 const PfuParams &params);
+
+    /**
+     * Arm and fire a prefetch of @p length words starting at @p start
+     * with the given word stride. Any previous buffer contents are
+     * invalidated. Issue events begin at @p when.
+     */
+    void fire(Addr start, unsigned length, unsigned stride, Tick when);
+
+    /**
+     * Masked variant: the PFU is armed with length, stride, *and mask*
+     * (paper, Section 2). Only elements whose mask bit is set are
+     * fetched; unmasked buffer slots never fill and are skipped by
+     * consumption. @p mask must hold @p length bits.
+     */
+    void fireMasked(Addr start, unsigned length, unsigned stride,
+                    const std::vector<bool> &mask, Tick when);
+
+    /**
+     * Reuse the current buffer contents without refetching ("it is
+     * possible to keep prefetched data in that buffer and reuse it
+     * from there") — returns true if [first, first+count) is covered
+     * by the live prefetch, so a consumer may call whenConsumed()
+     * again instead of firing.
+     */
+    bool canReuse(unsigned first, unsigned count) const;
+
+    /** Number of words covered by the current prefetch. */
+    unsigned length() const { return _length; }
+
+    /** True once every enabled word of the prefetch has arrived. */
+    bool complete() const { return _arrived == _enabled_count; }
+
+    /** Arrival tick of word @p index; max_tick if not yet known. */
+    Tick wordArrival(unsigned index) const;
+
+    /**
+     * Ask for the completion tick of consuming words
+     * [first, first + count) in order, one per cycle, starting no
+     * earlier than @p start. The callback receives the completion tick
+     * and runs as a simulation event (possibly immediately if all
+     * arrivals are already known).
+     */
+    void whenConsumed(unsigned first, unsigned count, Tick start,
+                      std::function<void(Tick)> callback);
+
+    /** First-word latencies (issue -> buffer), Table 2's "Latency". */
+    const SampleStat &latencyStat() const { return _latency; }
+
+    /** Sorted-arrival gaps within a block, Table 2's "Interarrival". */
+    const SampleStat &interarrivalStat() const { return _interarrival; }
+
+    /** Number of page-boundary suspensions taken. */
+    std::uint64_t pageCrossings() const { return _page_crossings.value(); }
+
+    std::uint64_t requestsIssued() const { return _requests.value(); }
+
+    const PfuParams &params() const { return _params; }
+
+    void resetStats();
+
+  private:
+    void beginFire(Addr start, unsigned length, unsigned stride,
+                   Tick when);
+    bool enabled(unsigned index) const;
+    void skipDisabled();
+    void issueNext();
+    void finishBlock();
+    void answerQueries();
+
+    Simulation &_sim;
+    mem::GlobalMemory &_gm;
+    unsigned _port;
+    PfuParams _params;
+
+    Addr _start = 0;
+    unsigned _stride = 1;
+    unsigned _length = 0;
+    unsigned _next_issue = 0;
+    unsigned _arrived = 0;
+    unsigned _enabled_count = 0;
+    std::uint64_t _generation = 0;
+    std::vector<Tick> _arrivals;
+    std::vector<bool> _mask;
+    std::vector<Tick> _request_arrivals;
+
+    struct Query
+    {
+        unsigned last;
+        unsigned first;
+        unsigned count;
+        Tick start;
+        std::function<void(Tick)> callback;
+    };
+    std::vector<Query> _queries;
+
+    SampleStat _latency;
+    SampleStat _interarrival;
+    Counter _requests;
+    Counter _page_crossings;
+};
+
+} // namespace cedar::prefetch
+
+#endif // CEDARSIM_PREFETCH_PFU_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multicluster barrier protocol over global memory.
+ *
+ * CEs in different clusters cannot use the concurrency control bus, so
+ * Cedar's multicluster barriers count arrivals in a global-memory cell
+ * with a Fetch-And-Add synchronization instruction and spin-poll the
+ * cell (with backoff) until all participants have arrived. The cell
+ * lives in one memory module, so a 32-CE barrier serializes there —
+ * the overhead that degraded FLO52 until its barrier sequences were
+ * restructured ([GJWY93], Section 4.2).
+ *
+ * GmBarrierProtocol is an op-emitting helper embeddable in any
+ * OpStream: call begin() to emit the arrival, feed every sync result
+ * to onSync(), and proceed when it returns true. Episodes count up, so
+ * one protocol object serves any number of consecutive barriers.
+ */
+
+#ifndef CEDARSIM_RUNTIME_GMBARRIER_HH
+#define CEDARSIM_RUNTIME_GMBARRIER_HH
+
+#include <deque>
+
+#include "cluster/op.hh"
+#include "sim/logging.hh"
+
+namespace cedar::runtime {
+
+/** One CE's view of a reusable counting barrier in global memory. */
+class GmBarrierProtocol
+{
+  public:
+    /**
+     * @param cell         global word holding the arrival count
+     * @param participants CEs that must arrive per episode
+     * @param backoff      spin-poll pause between reads, cycles
+     */
+    GmBarrierProtocol(Addr cell, unsigned participants,
+                      Cycles backoff = 30)
+        : _cell(cell), _participants(participants), _backoff(backoff)
+    {
+        sim_assert(participants > 0, "barrier needs participants");
+    }
+
+    /** Emit this CE's arrival (Fetch-And-Add) for the next episode. */
+    void
+    begin(std::deque<cluster::Op> &out)
+    {
+        sim_assert(!_active, "barrier episode already in progress");
+        ++_episode;
+        _active = true;
+        _adding = true;
+        out.push_back(cluster::Op::makeSync(
+            _cell, mem::SyncOp::fetchAndAdd(1)));
+    }
+
+    /**
+     * Feed the functional result of the last barrier sync op.
+     * @return true when the barrier has been passed; otherwise spin
+     *         ops were pushed and more results will follow
+     */
+    bool
+    onSync(const mem::SyncResult &res, std::deque<cluster::Op> &out)
+    {
+        sim_assert(_active, "sync result with no barrier in progress");
+        std::int64_t value = res.old_value + (_adding ? 1 : 0);
+        _adding = false;
+        auto target =
+            static_cast<std::int64_t>(_episode) * _participants;
+        if (value >= target) {
+            _active = false;
+            return true;
+        }
+        out.push_back(cluster::Op::makeScalar(_backoff));
+        out.push_back(cluster::Op::makeSync(
+            _cell, mem::SyncOp{mem::SyncTest::always, 0,
+                               mem::SyncOperate::read, 0}));
+        return false;
+    }
+
+    /** True while an episode is awaiting sync results. */
+    bool active() const { return _active; }
+
+    /** Completed-or-started episode count. */
+    unsigned episode() const { return _episode; }
+
+  private:
+    Addr _cell;
+    unsigned _participants;
+    Cycles _backoff;
+    unsigned _episode = 0;
+    bool _active = false;
+    bool _adding = false;
+};
+
+} // namespace cedar::runtime
+
+#endif // CEDARSIM_RUNTIME_GMBARRIER_HH

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Loop runtime implementation: stream construction for the three DOALL
+ * flavors and the self-scheduling protocols.
+ */
+
+#include "loops.hh"
+
+#include "mem/syncops.hh"
+#include "sim/logging.hh"
+
+namespace cedar::runtime {
+
+namespace {
+
+/**
+ * Per-CE stream of a self-scheduled XDOALL. Iterations are fetched
+ * from a counter cell in global memory, either with one Cedar
+ * Fetch-And-Add or with a Test-And-Set lock protocol (four global
+ * round trips) when Cedar synchronization is disabled.
+ */
+class XdoallStream : public OpStream
+{
+  public:
+    struct Shared
+    {
+        Addr counter;
+        Addr lock;
+        unsigned n_iters;
+    };
+
+    XdoallStream(Shared *shared, unsigned global_ce,
+                 const IterationBody *body, const RuntimeParams *params)
+        : _shared(shared), _ce(global_ce), _body(body), _params(params)
+    {
+    }
+
+    bool
+    next(Op &op) override
+    {
+        if (!_queue.empty()) {
+            op = _queue.front();
+            _queue.pop_front();
+            return true;
+        }
+        switch (_phase) {
+          case Phase::fetch:
+            if (_params->use_cedar_sync) {
+                op = Op::makeScalar(_params->xdoall_fetch_software);
+                _queue.push_back(Op::makeSync(
+                    _shared->counter, mem::SyncOp::fetchAndAdd(1)));
+                _phase = Phase::await_fetch;
+            } else {
+                op = Op::makeScalar(_params->xdoall_fetch_software);
+                _queue.push_back(Op::makeSync(_shared->lock,
+                                              mem::SyncOp::testAndSet()));
+                _phase = Phase::await_lock;
+            }
+            return true;
+          case Phase::finished:
+            return false;
+          default:
+            panic("XdoallStream::next() in a sync-await phase");
+        }
+    }
+
+    void
+    syncResult(const mem::SyncResult &res) override
+    {
+        switch (_phase) {
+          case Phase::await_fetch:
+            takeIteration(static_cast<unsigned>(res.old_value));
+            return;
+          case Phase::await_lock:
+            if (!res.success) {
+                // Lock held: back off and retry.
+                _queue.push_back(Op::makeScalar(_params->lock_backoff));
+                _queue.push_back(Op::makeSync(_shared->lock,
+                                              mem::SyncOp::testAndSet()));
+                return;
+            }
+            _queue.push_back(Op::makeSync(
+                _shared->counter,
+                mem::SyncOp{mem::SyncTest::always, 0,
+                            mem::SyncOperate::read, 0}));
+            _phase = Phase::await_read;
+            return;
+          case Phase::await_read: {
+            _pending_iter = static_cast<unsigned>(res.old_value);
+            _queue.push_back(Op::makeSync(
+                _shared->counter,
+                mem::SyncOp{mem::SyncTest::always, 0,
+                            mem::SyncOperate::write,
+                            static_cast<std::int32_t>(_pending_iter + 1)}));
+            _phase = Phase::await_write;
+            return;
+          }
+          case Phase::await_write:
+            _queue.push_back(Op::makeSync(
+                _shared->lock, mem::SyncOp{mem::SyncTest::always, 0,
+                                           mem::SyncOperate::write, 0}));
+            _phase = Phase::await_unlock;
+            return;
+          case Phase::await_unlock:
+            takeIteration(_pending_iter);
+            return;
+          default:
+            panic("unexpected sync result in XdoallStream");
+        }
+    }
+
+  private:
+    enum class Phase
+    {
+        fetch,
+        await_fetch,
+        await_lock,
+        await_read,
+        await_write,
+        await_unlock,
+        finished,
+    };
+
+    void
+    takeIteration(unsigned iter)
+    {
+        if (iter < _shared->n_iters) {
+            _queue.push_back(Op::makeScalar(_params->body_call_overhead));
+            (*_body)(iter, _ce, _queue);
+            _phase = Phase::fetch;
+        } else {
+            _phase = Phase::finished;
+        }
+    }
+
+    Shared *_shared;
+    unsigned _ce;
+    const IterationBody *_body;
+    const RuntimeParams *_params;
+    std::deque<Op> _queue;
+    Phase _phase = Phase::fetch;
+    unsigned _pending_iter = 0;
+};
+
+} // namespace
+
+struct LoopRunner::LoopContext
+{
+    IterationBody body;
+    RuntimeParams params;
+    XdoallStream::Shared xdoall_shared{};
+    std::vector<std::unique_ptr<OpStream>> streams;
+    unsigned remaining = 0;
+    std::function<void()> done;
+    // CDOALL self-scheduling state (bus-serialized, so a plain counter).
+    unsigned next_iter = 0;
+    unsigned n_iters = 0;
+    bool join_emitted = false;
+
+    void
+    ceFinished()
+    {
+        sim_assert(remaining > 0, "loop finished more CEs than it started");
+        if (--remaining == 0 && done) {
+            auto d = std::move(done);
+            done = nullptr;
+            d();
+        }
+    }
+};
+
+LoopRunner::LoopRunner(machine::CedarMachine &m,
+                       const RuntimeParams &params)
+    : _machine(m), _params(params)
+{
+}
+
+void
+LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
+                        IterationBody body, std::function<void()> done,
+                        unsigned num_ces)
+{
+    auto &cl = _machine.clusterAt(cluster_idx);
+    unsigned n_ces = num_ces ? num_ces : cl.numCes();
+    sim_assert(n_ces <= cl.numCes(), "cluster has only ", cl.numCes(),
+               " CEs");
+
+    auto ctx = std::make_shared<LoopContext>();
+    ctx->body = std::move(body);
+    ctx->params = _params;
+    ctx->remaining = n_ces;
+    ctx->done = std::move(done);
+    ctx->n_iters = n_iters;
+
+    unsigned barrier_id = cl.newBarrier(n_ces);
+    Cycles dispatch =
+        _params.cdoall_fetch_software + cl.ccb().params().dispatch_cycles;
+    Cycles body_call = _params.body_call_overhead;
+
+    unsigned first_ce = cluster_idx * _machine.config().cluster.num_ces;
+    for (unsigned i = 0; i < n_ces; ++i) {
+        unsigned global_ce = first_ce + i;
+        LoopContext *raw = ctx.get();
+        auto stream = std::make_unique<GeneratorStream>(
+            [raw, global_ce, dispatch, body_call, barrier_id,
+             joined = false](std::deque<Op> &out) mutable {
+                if (raw->next_iter < raw->n_iters) {
+                    unsigned iter = raw->next_iter++;
+                    out.push_back(Op::makeScalar(dispatch + body_call));
+                    raw->body(iter, global_ce, out);
+                    return true;
+                }
+                if (joined)
+                    return false;
+                // Exhausted: join at the concurrency-bus barrier once.
+                joined = true;
+                out.push_back(Op::makeBarrier(barrier_id));
+                return true;
+            });
+        ctx->streams.push_back(std::move(stream));
+    }
+
+    // Gang start over the concurrency control bus.
+    Tick start_at = cl.ccb().concurrentStart(_machine.sim().curTick());
+    _machine.sim().schedule(start_at, [this, ctx, cluster_idx, n_ces] {
+        for (unsigned i = 0; i < n_ces; ++i) {
+            auto &ce = _machine.clusterAt(cluster_idx).ce(i);
+            ce.run(ctx->streams[i].get(), [ctx] { ctx->ceFinished(); });
+        }
+    });
+}
+
+void
+LoopRunner::xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
+                        IterationBody body, std::function<void()> done,
+                        Schedule sched)
+{
+    sim_assert(!ces.empty(), "XDOALL needs at least one CE");
+    auto ctx = std::make_shared<LoopContext>();
+    ctx->body = std::move(body);
+    ctx->params = _params;
+    ctx->remaining = static_cast<unsigned>(ces.size());
+    ctx->done = std::move(done);
+    ctx->n_iters = n_iters;
+
+    if (sched == Schedule::self_scheduled) {
+        Addr cells = _machine.allocGlobal(2);
+        ctx->xdoall_shared =
+            XdoallStream::Shared{cells, cells + 1, n_iters};
+        _machine.gm().pokeCell(cells, 0);
+        _machine.gm().pokeCell(cells + 1, 0);
+        for (unsigned ce : ces) {
+            ctx->streams.push_back(std::make_unique<XdoallStream>(
+                &ctx->xdoall_shared, ce, &ctx->body, &ctx->params));
+        }
+    } else {
+        // Static chunking: iteration space pre-split into equal pieces.
+        unsigned p = static_cast<unsigned>(ces.size());
+        for (unsigned idx = 0; idx < p; ++idx) {
+            unsigned lo = static_cast<unsigned>(
+                (std::uint64_t(n_iters) * idx) / p);
+            unsigned hi = static_cast<unsigned>(
+                (std::uint64_t(n_iters) * (idx + 1)) / p);
+            unsigned global_ce = ces[idx];
+            LoopContext *raw = ctx.get();
+            Cycles body_call = _params.body_call_overhead;
+            auto stream = std::make_unique<GeneratorStream>(
+                [raw, global_ce, body_call, lo, hi,
+                 pos = lo](std::deque<Op> &out) mutable {
+                    if (pos >= hi)
+                        return false;
+                    out.push_back(Op::makeScalar(body_call));
+                    raw->body(pos++, global_ce, out);
+                    return true;
+                });
+            ctx->streams.push_back(std::move(stream));
+        }
+    }
+
+    // XDOALL processors get started through global memory: the gang is
+    // live one startup latency after launch.
+    Tick start_at = _machine.sim().curTick() + _params.xdoall_startup;
+    _machine.sim().schedule(start_at, [this, ctx, ces] {
+        for (std::size_t i = 0; i < ces.size(); ++i) {
+            _machine.ceAt(ces[i]).run(ctx->streams[i].get(),
+                                      [ctx] { ctx->ceFinished(); });
+        }
+    });
+}
+
+void
+LoopRunner::sdoallAsync(std::vector<unsigned> clusters, unsigned n_iters,
+                        SdoallBody body, std::function<void()> done)
+{
+    sim_assert(!clusters.empty(), "SDOALL needs at least one cluster");
+    struct SdoallCtx
+    {
+        SdoallBody body;
+        unsigned next = 0;
+        unsigned n = 0;
+        unsigned idle = 0;
+        unsigned num_clusters = 0;
+        std::function<void()> done;
+        std::vector<std::unique_ptr<OpStream>> serial_streams;
+    };
+    auto ctx = std::make_shared<SdoallCtx>();
+    ctx->body = std::move(body);
+    ctx->n = n_iters;
+    ctx->num_clusters = static_cast<unsigned>(clusters.size());
+    ctx->done = std::move(done);
+
+    // Per-cluster dispatch pump: fetch an iteration, run its serial
+    // prologue on the cluster's first CE, run the inner CDOALL, repeat.
+    auto pump = std::make_shared<std::function<void(unsigned)>>();
+    *pump = [this, ctx, pump](unsigned cluster_idx) {
+        if (ctx->next >= ctx->n) {
+            if (++ctx->idle == ctx->num_clusters && ctx->done) {
+                auto d = std::move(ctx->done);
+                ctx->done = nullptr;
+                d();
+            }
+            return;
+        }
+        unsigned iter = ctx->next++;
+        SdoallIteration work = ctx->body(iter, cluster_idx);
+        // Iteration dispatch goes through global memory, like XDOALL
+        // fetches but for a whole cluster.
+        Cycles fetch = _params.xdoall_fetch_software +
+                       _machine.gm().minReadLatency();
+        Tick start = _machine.sim().curTick() + fetch;
+        auto run_inner = [this, ctx, pump, cluster_idx, work] {
+            if (work.inner_iters > 0) {
+                cdoallAsync(cluster_idx, work.inner_iters,
+                            work.inner_body,
+                            [pump, cluster_idx] { (*pump)(cluster_idx); });
+            } else {
+                (*pump)(cluster_idx);
+            }
+        };
+        if (work.serial_cycles > 0) {
+            auto serial = std::make_unique<ProgramStream>(
+                std::vector<Op>{Op::makeScalar(work.serial_cycles)});
+            OpStream *serial_raw = serial.get();
+            ctx->serial_streams.push_back(std::move(serial));
+            _machine.sim().schedule(start, [this, cluster_idx, serial_raw,
+                                            run_inner] {
+                _machine.clusterAt(cluster_idx)
+                    .ce(0)
+                    .run(serial_raw, run_inner);
+            });
+        } else {
+            _machine.sim().schedule(start, run_inner);
+        }
+    };
+
+    Tick start_at = _machine.sim().curTick() + _params.sdoall_startup;
+    for (unsigned c : clusters) {
+        _machine.sim().schedule(start_at, [pump, c] { (*pump)(c); });
+    }
+}
+
+Tick
+LoopRunner::cdoall(unsigned cluster_idx, unsigned n_iters,
+                   const IterationBody &body, unsigned num_ces)
+{
+    bool finished = false;
+    Tick end = 0;
+    cdoallAsync(cluster_idx, n_iters, body,
+                [&] {
+                    finished = true;
+                    end = _machine.sim().curTick();
+                },
+                num_ces);
+    _machine.sim().run();
+    sim_assert(finished, "CDOALL did not complete");
+    return end;
+}
+
+Tick
+LoopRunner::xdoall(std::vector<unsigned> ces, unsigned n_iters,
+                   const IterationBody &body, Schedule sched)
+{
+    bool finished = false;
+    Tick end = 0;
+    xdoallAsync(std::move(ces), n_iters, body,
+                [&] {
+                    finished = true;
+                    end = _machine.sim().curTick();
+                },
+                sched);
+    _machine.sim().run();
+    sim_assert(finished, "XDOALL did not complete");
+    return end;
+}
+
+Tick
+LoopRunner::sdoall(std::vector<unsigned> clusters, unsigned n_iters,
+                   const SdoallBody &body)
+{
+    bool finished = false;
+    Tick end = 0;
+    sdoallAsync(std::move(clusters), n_iters, body, [&] {
+        finished = true;
+        end = _machine.sim().curTick();
+    });
+    _machine.sim().run();
+    sim_assert(finished, "SDOALL did not complete");
+    return end;
+}
+
+std::vector<unsigned>
+LoopRunner::allCes() const
+{
+    std::vector<unsigned> ces(_machine.numCes());
+    for (unsigned i = 0; i < ces.size(); ++i)
+        ces[i] = i;
+    return ces;
+}
+
+std::vector<unsigned>
+LoopRunner::cesOfClusters(unsigned n) const
+{
+    unsigned per = _machine.config().cluster.num_ces;
+    std::vector<unsigned> ces;
+    ces.reserve(std::size_t(n) * per);
+    for (unsigned c = 0; c < n; ++c)
+        for (unsigned i = 0; i < per; ++i)
+            ces.push_back(c * per + i);
+    return ces;
+}
+
+} // namespace cedar::runtime

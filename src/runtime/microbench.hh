@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Runtime microbenchmarks: measure the library costs the Perfect model
+ * consumes, on the simulated machine itself, so the workload models
+ * rest on simulated — not asserted — numbers.
+ */
+
+#ifndef CEDARSIM_RUNTIME_MICROBENCH_HH
+#define CEDARSIM_RUNTIME_MICROBENCH_HH
+
+#include "perfect/model.hh"
+
+namespace cedar::runtime {
+
+/** Measured runtime-library costs, microseconds. */
+struct MeasuredCosts
+{
+    /** XDOALL per-iteration fetch with Cedar synchronization. */
+    double iter_fetch_us = 0.0;
+    /** Same with the Test-And-Set lock protocol. */
+    double iter_fetch_nosync_us = 0.0;
+    /** One multicluster GM barrier episode at the given CE count. */
+    double barrier_us = 0.0;
+    /** CDOALL start + join for a trivial 8-iteration loop. */
+    double cdoall_us = 0.0;
+};
+
+/**
+ * Run the microbenchmarks on fresh machines.
+ * @param barrier_ces CEs participating in the barrier measurement
+ */
+MeasuredCosts measureRuntimeCosts(unsigned barrier_ces = 32);
+
+/** One multicluster barrier episode cost at a given CE count. */
+double measureGmBarrierMicros(unsigned ces, unsigned episodes = 8);
+
+/**
+ * Build Perfect-model machine costs from measured values, keeping the
+ * model's defaults for anything not measured.
+ */
+perfect::MachineCosts measuredMachineCosts();
+
+} // namespace cedar::runtime
+
+#endif // CEDARSIM_RUNTIME_MICROBENCH_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Runtime-library cost parameters.
+ *
+ * The Cedar Fortran runtime starts, terminates, and schedules XDOALL
+ * processors through global memory, giving a typical loop startup
+ * latency of ~90 microseconds and ~30 microseconds to fetch the next
+ * iteration (paper, Section 3.2). SDOALL schedules whole clusters;
+ * CDOALL uses the concurrency control bus and typically starts in a
+ * few microseconds. Self-scheduling normally rides the Cedar
+ * synchronization instructions; without them the runtime falls back to
+ * a lock-based protocol with several global round trips per fetch.
+ */
+
+#ifndef CEDARSIM_RUNTIME_PARAMS_HH
+#define CEDARSIM_RUNTIME_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace cedar::runtime {
+
+/** Iteration-assignment policies for parallel loops. */
+enum class Schedule : std::uint8_t
+{
+    self_scheduled, ///< CEs fetch iterations dynamically
+    static_chunked, ///< iterations pre-partitioned into equal chunks
+};
+
+/** Cost model of the runtime library's software paths. */
+struct RuntimeParams
+{
+    /** XDOALL gang start through global memory (~90 us). */
+    Cycles xdoall_startup = microsToTicks(90.0);
+    /** Software instructions in one XDOALL iteration fetch; the global
+     *  sync round trip comes on top, totalling ~30 us. */
+    Cycles xdoall_fetch_software = microsToTicks(27.0);
+    /** SDOALL cluster-level dispatch cost. */
+    Cycles sdoall_startup = microsToTicks(20.0);
+    /** Software wrapper around a CDOALL bus dispatch. */
+    Cycles cdoall_fetch_software = 4;
+    /** Per-CE software cost of entering a loop body. */
+    Cycles body_call_overhead = 6;
+    /** Use the Cedar Test-And-Operate instructions for self-scheduling;
+     *  when false, a Test-And-Set lock protocol is used instead. */
+    bool use_cedar_sync = true;
+    /** Spin backoff between lock attempts in the no-sync protocol. */
+    Cycles lock_backoff = 12;
+};
+
+} // namespace cedar::runtime
+
+#endif // CEDARSIM_RUNTIME_PARAMS_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Event loop implementation for the Simulation class.
+ */
+
+#include "engine.hh"
+
+namespace cedar {
+
+Tick
+Simulation::run()
+{
+    return runUntil(max_tick);
+}
+
+Tick
+Simulation::runUntil(Tick limit)
+{
+    _stop_requested = false;
+    while (!_queue.empty() && !_stop_requested) {
+        const QueuedEvent &top = _queue.top();
+        if (top.when > limit) {
+            // Leave future events queued; advance time to the horizon so
+            // repeated runUntil() calls compose naturally.
+            _now = limit;
+            return _now;
+        }
+        // Copy out before pop: the callback may schedule new events and
+        // reallocate the underlying heap storage.
+        QueuedEvent ev = std::move(const_cast<QueuedEvent &>(top));
+        _queue.pop();
+        _now = ev.when;
+        ++_events_executed;
+        if (_event_limit && _events_executed > _event_limit) {
+            panic("event limit of ", _event_limit,
+                  " exceeded at tick ", _now,
+                  "; runaway simulation suspected");
+        }
+        ev.fn();
+    }
+    return _now;
+}
+
+} // namespace cedar

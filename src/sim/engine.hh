@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * A Simulation owns a time-ordered event queue. Components schedule
+ * callbacks at absolute ticks; ties are broken first by an explicit
+ * priority and then by insertion order, so runs are fully deterministic.
+ */
+
+#ifndef CEDARSIM_SIM_ENGINE_HH
+#define CEDARSIM_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace cedar {
+
+/** Callback type executed when an event fires. */
+using EventFunc = std::function<void()>;
+
+/** Scheduling priorities for same-tick ordering. Lower runs first. */
+enum class EventPriority : int
+{
+    memory_response = -2, ///< data arrivals before consumers poll
+    network = -1,         ///< network movement before CE progress
+    normal = 0,           ///< default component activity
+    ce_progress = 1,      ///< CE state-machine advancement
+    stats = 2,            ///< end-of-tick statistics sampling
+};
+
+/**
+ * Discrete-event simulator core. One instance per simulated machine;
+ * never shared across machines so experiments are isolated.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time in CE cycles. */
+    Tick curTick() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when absolute tick, must be >= curTick()
+     * @param fn   callback to run
+     * @param prio same-tick ordering class
+     */
+    void
+    schedule(Tick when, EventFunc fn,
+             EventPriority prio = EventPriority::normal)
+    {
+        sim_assert(when >= _now, "event scheduled in the past: when=", when,
+                   " now=", _now);
+        _queue.push(QueuedEvent{when, static_cast<int>(prio), _next_seq++,
+                                std::move(fn)});
+    }
+
+    /** Schedule a callback a relative number of cycles in the future. */
+    void
+    scheduleIn(Cycles delta, EventFunc fn,
+               EventPriority prio = EventPriority::normal)
+    {
+        schedule(_now + delta, std::move(fn), prio);
+    }
+
+    /**
+     * Run until the queue drains or stop() is called.
+     * @return the tick at which execution stopped
+     */
+    Tick run();
+
+    /** Run until simulated time would exceed @p limit. */
+    Tick runUntil(Tick limit);
+
+    /** Ask the main loop to stop after the current event. */
+    void stop() { _stop_requested = true; }
+
+    /** True once the event queue is empty. */
+    bool empty() const { return _queue.empty(); }
+
+    /** Number of events executed so far (for performance reporting). */
+    std::uint64_t eventsExecuted() const { return _events_executed; }
+
+    /** Guard against runaway simulations; 0 disables the limit. */
+    void setEventLimit(std::uint64_t limit) { _event_limit = limit; }
+
+  private:
+    struct QueuedEvent
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        EventFunc fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const QueuedEvent &a, const QueuedEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> _queue;
+    Tick _now = 0;
+    std::uint64_t _next_seq = 0;
+    std::uint64_t _events_executed = 0;
+    std::uint64_t _event_limit = 0;
+    bool _stop_requested = false;
+};
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_ENGINE_HH

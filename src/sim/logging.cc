@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the panic/fatal/warn/inform reporting helpers.
+ */
+
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cedar {
+
+namespace {
+bool quiet_mode = false;
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    quiet_mode = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quiet_mode;
+}
+
+namespace logging_detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throw rather than abort() so tests can EXPECT the failure; the
+    // exception type is never caught in normal simulator runs, so the
+    // effect for a user is still immediate termination with a message.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet_mode)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet_mode)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace logging_detail
+} // namespace cedar

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Base class giving every simulated component a hierarchical name,
+ * e.g. "cedar.cluster2.ce5.pfu". Names appear in statistics dumps and
+ * diagnostics so a reader can find the component a number belongs to.
+ */
+
+#ifndef CEDARSIM_SIM_NAMED_HH
+#define CEDARSIM_SIM_NAMED_HH
+
+#include <string>
+#include <utility>
+
+namespace cedar {
+
+/** An object with a dotted hierarchical name. */
+class Named
+{
+  public:
+    explicit Named(std::string name) : _name(std::move(name)) {}
+    virtual ~Named() = default;
+
+    /** Full hierarchical name of this component. */
+    const std::string &name() const { return _name; }
+
+    /** Build a child name under this component. */
+    std::string
+    child(const std::string &leaf) const
+    {
+        return _name + "." + leaf;
+    }
+
+  private:
+    std::string _name;
+};
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_NAMED_HH

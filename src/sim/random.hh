@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A small xorshift-based generator with explicit seeding is used instead
+ * of std::mt19937 so that every experiment is reproducible bit-for-bit
+ * across standard-library implementations.
+ */
+
+#ifndef CEDARSIM_SIM_RANDOM_HH
+#define CEDARSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace cedar {
+
+/** xoshiro256** generator; deterministic across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 expansion of the seed into four lanes.
+        std::uint64_t x = seed;
+        for (auto &lane : _s) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            lane = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        sim_assert(bound > 0, "Rng::below requires a positive bound");
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    range(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_RANDOM_HH

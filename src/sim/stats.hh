@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Statistics primitives used throughout the simulator.
+ *
+ * The Cedar performance hardware collected event traces and histograms
+ * of hardware signals; these classes are the software equivalents that
+ * simulator components attach to the points the paper instrumented.
+ */
+
+#ifndef CEDARSIM_SIM_STATS_HH
+#define CEDARSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace cedar {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { _value += by; }
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * Streaming summary of a sampled quantity: count, sum, min, max, mean,
+ * and variance (via Welford's algorithm, stable for long runs).
+ */
+class SampleStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+        double delta = v - _mean;
+        _mean += delta / static_cast<double>(_count);
+        _m2 += delta * (v - _mean);
+    }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = 0.0;
+        _mean = 0.0;
+        _m2 = 0.0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _mean : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    double
+    variance() const
+    {
+        return _count > 1 ? _m2 / static_cast<double>(_count - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width-bucket histogram mirroring the Cedar histogrammers
+ * (64K 32-bit counters in hardware; here the bucket count is a
+ * constructor parameter). Samples beyond the last bucket accumulate
+ * in an overflow counter.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets number of equal-width buckets
+     * @param bucket_width width of each bucket in sample units
+     */
+    explicit Histogram(std::size_t num_buckets = 64,
+                       double bucket_width = 1.0)
+        : _buckets(num_buckets, 0), _width(bucket_width)
+    {
+        sim_assert(num_buckets > 0, "histogram needs at least one bucket");
+        sim_assert(bucket_width > 0.0, "bucket width must be positive");
+    }
+
+    void
+    sample(double v)
+    {
+        _summary.sample(v);
+        if (v < 0) {
+            ++_underflow;
+            return;
+        }
+        auto idx = static_cast<std::size_t>(v / _width);
+        if (idx >= _buckets.size())
+            ++_overflow;
+        else
+            ++_buckets[idx];
+    }
+
+    std::size_t numBuckets() const { return _buckets.size(); }
+    std::uint64_t bucket(std::size_t i) const { return _buckets.at(i); }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t underflow() const { return _underflow; }
+    const SampleStat &summary() const { return _summary; }
+
+    /** Sample value below which the given fraction of samples fall. */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        std::fill(_buckets.begin(), _buckets.end(), 0);
+        _overflow = 0;
+        _underflow = 0;
+        _summary.reset();
+    }
+
+  private:
+    std::vector<std::uint64_t> _buckets;
+    double _width;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _underflow = 0;
+    SampleStat _summary;
+};
+
+/** Harmonic mean of a set of positive rates (paper's suite aggregate). */
+double harmonicMean(const std::vector<double> &rates);
+
+/** Arithmetic mean. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_STATS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental simulator types and machine-wide time constants.
+ *
+ * The Cedar computational element (CE) runs a 170 ns instruction cycle;
+ * the whole simulator is clocked in CE cycles, so one Tick equals one
+ * 170 ns machine cycle. Helpers convert between cycles, seconds, and
+ * microseconds at that fixed rate.
+ */
+
+#ifndef CEDARSIM_SIM_TYPES_HH
+#define CEDARSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace cedar {
+
+/** Simulation time, measured in CE cycles (170 ns each). */
+using Tick = std::uint64_t;
+
+/** A duration measured in CE cycles. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no time" / unscheduled. */
+constexpr Tick max_tick = ~Tick(0);
+
+/** CE instruction cycle time in nanoseconds (paper, Section 2). */
+constexpr double ce_cycle_ns = 170.0;
+
+/** CE clock rate in MHz (= 1000 / 170 ≈ 5.882 MHz). */
+constexpr double ce_clock_mhz = 1000.0 / ce_cycle_ns;
+
+/** Convert a cycle count to seconds of machine time. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * ce_cycle_ns * 1e-9;
+}
+
+/** Convert a cycle count to microseconds of machine time. */
+constexpr double
+ticksToMicros(Tick t)
+{
+    return static_cast<double>(t) * ce_cycle_ns * 1e-3;
+}
+
+/** Convert machine microseconds to (rounded-up) cycles. */
+constexpr Tick
+microsToTicks(double us)
+{
+    double cycles = us * 1e3 / ce_cycle_ns;
+    auto whole = static_cast<Tick>(cycles);
+    return (cycles > static_cast<double>(whole)) ? whole + 1 : whole;
+}
+
+/** Flops / second expressed in MFLOPS given flops and elapsed ticks. */
+constexpr double
+mflops(double flops, Tick elapsed)
+{
+    if (elapsed == 0)
+        return 0.0;
+    return flops / (ticksToSeconds(elapsed) * 1e6);
+}
+
+/** A 64-bit word address in the global (or cluster) physical space. */
+using Addr = std::uint64_t;
+
+/** Size of one machine word in bytes (Cedar is a 64-bit-word machine). */
+constexpr unsigned bytes_per_word = 8;
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_TYPES_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * I/O scenario implementations.
+ */
+
+#include "io.hh"
+
+namespace cedar::xylem {
+
+double
+BdnaIoScenario::formattedSeconds(const IoProcessor &ip) const
+{
+    IoRequest req;
+    req.items = items / requests;
+    req.formatted = true;
+    return ip.requestSeconds(req) * static_cast<double>(requests);
+}
+
+double
+BdnaIoScenario::unformattedSeconds(const IoProcessor &ip) const
+{
+    IoRequest req;
+    req.items = items / requests;
+    req.formatted = false;
+    return ip.requestSeconds(req) * static_cast<double>(requests);
+}
+
+} // namespace cedar::xylem

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline calibration
+ * points reproduced end-to-end on the assembled machine. These are the
+ * slowest tests in the suite (each simulates millions of machine
+ * cycles) but they pin the numbers EXPERIMENTS.md reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cedar.hh"
+
+using namespace cedar;
+
+namespace {
+
+struct QuietEnv : public ::testing::Environment
+{
+    void SetUp() override { setLogQuiet(true); }
+};
+const auto *quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietEnv);
+
+double
+rank64Rate(kernels::Rank64Version version, unsigned clusters,
+           unsigned n = 256)
+{
+    machine::CedarMachine machine;
+    kernels::Rank64Params params;
+    params.n = n;
+    params.clusters = clusters;
+    params.version = version;
+    return kernels::runRank64(machine, params).mflopsRate();
+}
+
+} // namespace
+
+TEST(Table1, OneClusterColumnWithinTolerance)
+{
+    // Paper: 14.5 / 50 / 52 on one cluster.
+    EXPECT_NEAR(rank64Rate(kernels::Rank64Version::gm_no_prefetch, 1),
+                14.5, 2.0);
+    EXPECT_NEAR(rank64Rate(kernels::Rank64Version::gm_prefetch, 1),
+                50.0, 7.0);
+    EXPECT_NEAR(rank64Rate(kernels::Rank64Version::gm_cache, 1), 52.0,
+                4.0);
+}
+
+TEST(Table1, FourClusterColumnWithinTolerance)
+{
+    // Paper: 55 / 104 / 208 on four clusters.
+    EXPECT_NEAR(rank64Rate(kernels::Rank64Version::gm_no_prefetch, 4),
+                55.0, 5.0);
+    EXPECT_NEAR(rank64Rate(kernels::Rank64Version::gm_prefetch, 4),
+                104.0, 15.0);
+    EXPECT_NEAR(rank64Rate(kernels::Rank64Version::gm_cache, 4), 208.0,
+                12.0);
+}
+
+TEST(Table1, PrefetchSaturatesBeyondTwoClusters)
+{
+    double two = rank64Rate(kernels::Rank64Version::gm_prefetch, 2);
+    double four = rank64Rate(kernels::Rank64Version::gm_prefetch, 4);
+    // Paper: 84 -> 104, far below the 2x of linear scaling.
+    EXPECT_LT(four, 1.35 * two);
+    EXPECT_GE(four, 0.95 * two);
+}
+
+TEST(Table1, CacheVersionScalesNearLinearly)
+{
+    double one = rank64Rate(kernels::Rank64Version::gm_cache, 1);
+    double four = rank64Rate(kernels::Rank64Version::gm_cache, 4);
+    EXPECT_NEAR(four / one, 4.0, 0.35);
+}
+
+TEST(Table2, LatencyFloorAndGrowth)
+{
+    auto latency = [](unsigned ces) {
+        machine::CedarMachine machine;
+        kernels::VloadParams params;
+        params.ces = ces;
+        params.repetitions = 150;
+        return kernels::runVload(machine, params).mean_latency;
+    };
+    double l8 = latency(8);
+    double l32 = latency(32);
+    EXPECT_GE(l8, 8.0);   // hardware minimum
+    EXPECT_LT(l8, 11.0);  // near minimum at one cluster
+    EXPECT_GT(l32, 2.0 * l8); // contention beyond two clusters
+}
+
+TEST(Table2, RkDegradesMoreThanTmAndCg)
+{
+    auto growth = [](auto run) {
+        double l8 = run(8), l32 = run(32);
+        return l32 / l8;
+    };
+    auto rk = [](unsigned ces) {
+        machine::CedarMachine machine;
+        kernels::Rank64Params p;
+        p.version = kernels::Rank64Version::gm_prefetch;
+        p.clusters = ces / 8;
+        p.n = 128;
+        return kernels::runRank64(machine, p).mean_latency;
+    };
+    auto tm = [](unsigned ces) {
+        machine::CedarMachine machine;
+        kernels::TridiagParams p;
+        p.ces = ces;
+        p.n = 512 * ces;
+        return kernels::runTridiag(machine, p).mean_latency;
+    };
+    EXPECT_GT(growth(rk), growth(tm));
+}
+
+TEST(Ppt4, CgReachesTheHighBandForLargeProblems)
+{
+    machine::CedarMachine machine;
+    kernels::CgTimedParams params;
+    params.n = 32768;
+    params.m = 128;
+    params.ces = 32;
+    params.iterations = 1;
+    auto res = kernels::runCgTimed(machine, params);
+    // Paper: 34-48 MFLOPS on 32 CEs across 10K..172K.
+    EXPECT_GT(res.mflopsRate(), 25.0);
+    EXPECT_LT(res.mflopsRate(), 70.0);
+}
+
+TEST(Ppt4, CgSmallProblemsRunSlower)
+{
+    auto rate = [](unsigned n) {
+        machine::CedarMachine machine;
+        kernels::CgTimedParams params;
+        params.n = n;
+        params.m = 64;
+        params.ces = 32;
+        params.iterations = 1;
+        return kernels::runCgTimed(machine, params).mflopsRate();
+    };
+    EXPECT_LT(rate(2048), rate(32768));
+}
+
+TEST(EndToEnd, FunctionalAndTimedCgAgreeOnWork)
+{
+    // The functional solver's per-iteration flops and the timed
+    // kernel's retired flops follow the same 19n convention.
+    kernels::CgProblem problem;
+    problem.n = 2048;
+    problem.m = 64;
+    std::vector<double> b(problem.n, 1.0);
+    auto functional = kernels::cgSolve(problem, b, 3, 0.0);
+    machine::CedarMachine machine;
+    kernels::CgTimedParams params;
+    params.n = problem.n;
+    params.m = problem.m;
+    params.ces = 8;
+    params.iterations = 3;
+    auto timed = kernels::runCgTimed(machine, params);
+    double functional_per_iter =
+        (functional.flops - 2.0 * problem.n) / functional.iterations;
+    double timed_per_iter = timed.flops / params.iterations;
+    EXPECT_NEAR(timed_per_iter, functional_per_iter,
+                0.02 * functional_per_iter);
+}
+
+TEST(EndToEnd, SimulatorDeterminism)
+{
+    auto run = [] {
+        machine::CedarMachine machine;
+        kernels::Rank64Params params;
+        params.n = 128;
+        params.clusters = 2;
+        params.version = kernels::Rank64Version::gm_prefetch;
+        auto res = kernels::runRank64(machine, params);
+        return std::make_pair(res.elapsed(),
+                              machine.sim().eventsExecuted());
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}

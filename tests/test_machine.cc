@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Whole-machine tests: configuration validation, the published
+ * parameter budget, memory allocation, and the performance-monitoring
+ * hardware models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/cedar.hh"
+#include "machine/perfmon.hh"
+
+using namespace cedar;
+using namespace cedar::machine;
+
+TEST(Config, StandardMachineMatchesThePaper)
+{
+    CedarConfig cfg = CedarConfig::standard();
+    EXPECT_EQ(cfg.num_clusters, 4u);
+    EXPECT_EQ(cfg.cluster.num_ces, 8u);
+    EXPECT_EQ(cfg.numCes(), 32u);
+    EXPECT_NEAR(cfg.peakMflops(), 376.0, 1.0);
+    EXPECT_NEAR(cfg.effectivePeakMflops(), 274.0, 3.0);
+}
+
+TEST(Config, LatencyBudgetsMatchThePaper)
+{
+    CedarMachine machine;
+    const auto &cfg = machine.config();
+    // PFU probe: network+module 6 + buffer fill 2 = 8 cycles.
+    EXPECT_EQ(machine.gm().minReadLatency() + cfg.cluster.pfu.buffer_fill,
+              8u);
+    // CE-visible: issue 2 + 6 + drain 5 = 13 cycles.
+    EXPECT_EQ(cfg.cluster.ce.issue_cycles + machine.gm().minReadLatency() +
+                  cfg.cluster.ce.drain_cycles,
+              13u);
+}
+
+TEST(Config, RejectsMismatchedNetwork)
+{
+    CedarConfig cfg;
+    cfg.num_clusters = 2; // 16 CEs but a 32-port network
+    EXPECT_THROW(CedarMachine m(cfg), std::runtime_error);
+}
+
+TEST(Machine, CeIndexingIsClusterMajor)
+{
+    CedarMachine machine;
+    EXPECT_EQ(machine.ceAt(0).port(), 0u);
+    EXPECT_EQ(machine.ceAt(9).port(), 9u);
+    EXPECT_EQ(machine.ceAt(31).port(), 31u);
+    EXPECT_EQ(&machine.ceAt(8), &machine.clusterAt(1).ce(0));
+}
+
+TEST(Machine, GlobalAllocationIsDisjointAndGlobal)
+{
+    CedarMachine machine;
+    Addr a = machine.allocGlobal(100);
+    Addr b = machine.allocGlobal(100);
+    EXPECT_TRUE(mem::isGlobal(a));
+    EXPECT_TRUE(mem::isGlobal(b));
+    EXPECT_GE(mem::globalOffset(b), mem::globalOffset(a) + 100);
+}
+
+TEST(Machine, StaggeredAllocationRotatesModulePhase)
+{
+    CedarMachine machine;
+    Addr a = machine.allocGlobalStaggered(64);
+    Addr b = machine.allocGlobalStaggered(64);
+    Addr c = machine.allocGlobalStaggered(64);
+    unsigned ma = mem::moduleOf(a, 32);
+    unsigned mb = mem::moduleOf(b, 32);
+    unsigned mc = mem::moduleOf(c, 32);
+    EXPECT_FALSE(ma == mb && mb == mc);
+}
+
+TEST(Machine, ClusterAllocationStaysLocal)
+{
+    CedarMachine machine;
+    Addr a = machine.allocCluster(100);
+    EXPECT_FALSE(mem::isGlobal(a));
+}
+
+TEST(Machine, TotalFlopsSumsAllClusters)
+{
+    CedarMachine machine;
+    EXPECT_DOUBLE_EQ(machine.totalFlops(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Performance monitors
+// ---------------------------------------------------------------------
+
+TEST(PerfMon, TracerCapturesTimestampedEvents)
+{
+    EventTracer tracer("tracer");
+    tracer.start();
+    tracer.post(100, 1, 42);
+    tracer.post(200, 2, 43);
+    ASSERT_EQ(tracer.events().size(), 2u);
+    EXPECT_EQ(tracer.events()[0].when, 100u);
+    EXPECT_EQ(tracer.events()[1].value, 43);
+}
+
+TEST(PerfMon, TracerIgnoresEventsWhenStopped)
+{
+    EventTracer tracer("tracer");
+    tracer.post(1, 1, 1); // not started
+    tracer.start();
+    tracer.post(2, 1, 1);
+    tracer.stopTracer();
+    tracer.post(3, 1, 1);
+    EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(PerfMon, TracerCapacityIsOneMegaEventPerUnit)
+{
+    EventTracer tracer("tracer");
+    EXPECT_EQ(tracer.capacity(), 1u << 20);
+    EventTracer cascaded("tracer2", 3);
+    EXPECT_EQ(cascaded.capacity(), 3u << 20);
+}
+
+TEST(PerfMon, TracerDropsWhenFull)
+{
+    EventTracer tracer("tracer");
+    tracer.start();
+    for (std::size_t i = 0; i < tracer.capacity() + 10; ++i)
+        tracer.post(i, 0, 0);
+    EXPECT_EQ(tracer.events().size(), tracer.capacity());
+    EXPECT_EQ(tracer.droppedCount(), 10u);
+}
+
+TEST(PerfMon, HistogrammerCountsAndSaturates)
+{
+    Histogrammer hist("hist");
+    EXPECT_EQ(hist.numCounters(), std::size_t(1) << 16);
+    hist.sample(5);
+    hist.sample(5);
+    hist.sample(6);
+    EXPECT_EQ(hist.counter(5), 2u);
+    EXPECT_EQ(hist.counter(6), 1u);
+    EXPECT_NEAR(hist.mean(), (5.0 + 5.0 + 6.0) / 3.0, 1e-9);
+    hist.sample(1u << 17); // out of range
+    EXPECT_EQ(hist.outOfRangeCount(), 1u);
+    hist.clear();
+    EXPECT_EQ(hist.counter(5), 0u);
+}

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Perfect-suite model tests: calibration targets are reproduced, the
+ * paper's per-code statements hold, and the cross-machine aggregates
+ * (Tables 3-6, Figure 3) come out right.
+ */
+
+#include <gtest/gtest.h>
+
+#include "method/machines.hh"
+#include "method/metrics.hh"
+#include "method/ppt.hh"
+#include "method/stability.hh"
+#include "perfect/model.hh"
+#include "perfect/profile.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace cedar;
+using namespace cedar::perfect;
+
+namespace {
+
+const WorkloadProfile &
+code(const char *name)
+{
+    return perfectCode(name);
+}
+
+} // namespace
+
+TEST(Suite, ThirteenCodesMatchingCanonicalOrder)
+{
+    const auto &suite = perfectSuite();
+    ASSERT_EQ(suite.size(), 13u);
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i].name, method::perfectCodeNames()[i]);
+}
+
+TEST(Suite, ProfilesAreInternallyConsistent)
+{
+    for (const auto &p : perfectSuite()) {
+        EXPECT_GT(p.serial_seconds, p.io_seconds) << p.name;
+        EXPECT_GE(p.local_fraction + p.scalar_fraction, 0.0) << p.name;
+        EXPECT_LE(p.local_fraction + p.scalar_fraction, 1.0) << p.name;
+        EXPECT_GT(p.globalVectorFraction(), 0.0) << p.name;
+        EXPECT_GT(p.vector_gain, 0.9) << p.name;
+        EXPECT_GT(p.flopCount(), 0.0) << p.name;
+        // Serial scalar rate must be physically plausible for a 5.9 MHz
+        // scalar pipeline (< ~2.2 MFLOPS).
+        double serial_rate =
+            p.flopCount() / (p.serial_seconds * 1e6);
+        EXPECT_LT(serial_rate, 2.2) << p.name;
+    }
+}
+
+TEST(Suite, UnknownCodePanics)
+{
+    EXPECT_THROW(perfectCode("LINPACK"), std::logic_error);
+}
+
+TEST(Model, AutomatableHitsCalibrationTargets)
+{
+    PerfectModel model;
+    for (const auto &p : perfectSuite()) {
+        auto r = model.evaluate(p, Level::automatable);
+        EXPECT_NEAR(r.speedup, p.target_auto_speedup,
+                    0.02 * p.target_auto_speedup)
+            << p.name;
+        EXPECT_NEAR(r.mflops, p.target_auto_mflops,
+                    0.02 * p.target_auto_mflops)
+            << p.name;
+    }
+}
+
+TEST(Model, KapHitsCalibrationTargets)
+{
+    PerfectModel model;
+    for (const auto &p : perfectSuite()) {
+        auto r = model.evaluate(p, Level::kap);
+        EXPECT_NEAR(r.speedup, p.target_kap_speedup,
+                    0.05 * p.target_kap_speedup)
+            << p.name;
+    }
+}
+
+TEST(Model, SerialLevelIsIdentity)
+{
+    PerfectModel model;
+    for (const auto &p : perfectSuite()) {
+        auto r = model.evaluate(p, Level::serial);
+        EXPECT_DOUBLE_EQ(r.seconds, p.serial_seconds);
+        EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+    }
+}
+
+TEST(Model, HandTimesMatchTable4)
+{
+    PerfectModel model;
+    struct Expect
+    {
+        const char *code;
+        double time;
+    };
+    for (auto [name, time] :
+         {Expect{"ARC2D", 68.0}, {"BDNA", 70.0}, {"FLO52", 33.0},
+          {"DYFESM", 31.0}, {"TRFD", 7.5}, {"QCD", 21.0},
+          {"SPICE", 26.0}}) {
+        auto r = model.evaluate(code(name), Level::hand);
+        EXPECT_DOUBLE_EQ(r.seconds, time) << name;
+    }
+}
+
+TEST(Model, Table4ImprovementsOverNoSyncBaseline)
+{
+    PerfectModel model;
+    struct Expect
+    {
+        const char *code;
+        double improvement;
+        double tolerance;
+    };
+    for (auto [name, improvement, tol] :
+         {Expect{"ARC2D", 2.1, 0.15}, {"BDNA", 1.7, 0.1},
+          {"TRFD", 2.8, 0.15}, {"QCD", 11.4, 0.4}}) {
+        double nosync =
+            model.evaluate(code(name), Level::automatable_nosync).seconds;
+        double hand = model.evaluate(code(name), Level::hand).seconds;
+        EXPECT_NEAR(nosync / hand, improvement, tol) << name;
+    }
+}
+
+TEST(Model, QcdHandImprovementNearTwentyPointEight)
+{
+    PerfectModel model;
+    auto hand = model.evaluate(code("QCD"), Level::hand);
+    EXPECT_NEAR(hand.speedup, 20.8, 0.8);
+}
+
+TEST(Model, FineGrainedCodesSlowDownWithoutCedarSync)
+{
+    PerfectModel model;
+    for (const char *name : {"DYFESM", "OCEAN"}) {
+        double with =
+            model.evaluate(code(name), Level::automatable).seconds;
+        double without =
+            model.evaluate(code(name), Level::automatable_nosync).seconds;
+        EXPECT_GT(without, 1.08 * with) << name;
+    }
+    // Coarse-grained codes barely move.
+    double with = model.evaluate(code("MG3D"), Level::automatable).seconds;
+    double without =
+        model.evaluate(code("MG3D"), Level::automatable_nosync).seconds;
+    EXPECT_LT(without, 1.03 * with);
+}
+
+TEST(Model, PrefetchSensitivityFollowsAccessMix)
+{
+    PerfectModel model;
+    auto slowdown = [&](const char *name) {
+        double nosync =
+            model.evaluate(code(name), Level::automatable_nosync).seconds;
+        double nopref =
+            model.evaluate(code(name), Level::automatable_nopref).seconds;
+        return nopref / nosync;
+    };
+    // DYFESM streams vectors from global memory: big prefetch benefit.
+    EXPECT_GT(slowdown("DYFESM"), 1.12);
+    // TRACK is dominated by scalar accesses: small benefit.
+    EXPECT_LT(slowdown("TRACK"), 1.06);
+    EXPECT_GT(slowdown("DYFESM"), slowdown("TRACK"));
+}
+
+TEST(Model, CedarBandsMatchTable6)
+{
+    PerfectModel model;
+    auto r = method::evaluatePpt3(model.autoSpeedups(), 32);
+    EXPECT_EQ(r.bands.high, 1u);
+    EXPECT_EQ(r.bands.intermediate, 9u);
+    EXPECT_EQ(r.bands.unacceptable, 3u);
+}
+
+TEST(Model, CedarInstabilityMatchesTable5)
+{
+    PerfectModel model;
+    auto rates = model.autoRates();
+    EXPECT_NEAR(method::instability(rates, 0), 63.4, 1.5);
+    EXPECT_NEAR(method::instability(rates, 2), 5.8, 0.3);
+    EXPECT_EQ(method::exclusionsForStability(
+                  rates, method::workstation_instability),
+              2u);
+}
+
+TEST(Model, YmpToCedarHarmonicRatioNearPaper)
+{
+    PerfectModel model;
+    double cedar_hm = harmonicMean(model.autoRates());
+    double ymp_hm = harmonicMean(method::ympRef().autoRates());
+    EXPECT_NEAR(ymp_hm / cedar_hm, 7.4, 0.6);
+}
+
+TEST(Model, CedarManualBandsMatchFigure3)
+{
+    PerfectModel model;
+    method::BandCount bands;
+    for (double s : model.manualSpeedups())
+        bands.add(method::classify(s, 32));
+    EXPECT_EQ(bands.unacceptable, 0u); // Cedar has none in Fig. 3
+    EXPECT_EQ(bands.high, 3u);         // about one quarter of 13
+    EXPECT_EQ(bands.intermediate, 10u);
+}
+
+TEST(Model, ManualNeverSlowerThanAutomatable)
+{
+    PerfectModel model;
+    auto automatable = model.evaluateSuite(Level::automatable);
+    auto hand = model.evaluateSuite(Level::hand);
+    for (std::size_t i = 0; i < hand.size(); ++i)
+        EXPECT_LE(hand[i].seconds, automatable[i].seconds * 1.001)
+            << hand[i].code;
+}
+
+TEST(Model, LevelNamesAreStable)
+{
+    EXPECT_STREQ(levelName(Level::kap), "KAP/Cedar");
+    EXPECT_STREQ(levelName(Level::hand), "hand");
+}
+
+/** Property: every level's time respects the serial ceiling direction
+ *  expected of it (parameterized across the suite). */
+class PerCode : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PerCode, AblationOrderingHolds)
+{
+    PerfectModel model;
+    const auto &p = perfectSuite()[static_cast<std::size_t>(GetParam())];
+    double automatable =
+        model.evaluate(p, Level::automatable).seconds;
+    double nosync =
+        model.evaluate(p, Level::automatable_nosync).seconds;
+    double nopref =
+        model.evaluate(p, Level::automatable_nopref).seconds;
+    EXPECT_GE(nosync, automatable * 0.999) << p.name;
+    EXPECT_GE(nopref, nosync * 0.999) << p.name;
+}
+
+TEST_P(PerCode, RatesArePositiveAndBounded)
+{
+    PerfectModel model;
+    const auto &p = perfectSuite()[static_cast<std::size_t>(GetParam())];
+    for (auto level : {Level::serial, Level::kap, Level::automatable,
+                       Level::automatable_nosync,
+                       Level::automatable_nopref, Level::hand}) {
+        auto r = model.evaluate(p, level);
+        EXPECT_GT(r.seconds, 0.0) << p.name;
+        EXPECT_GT(r.mflops, 0.0) << p.name;
+        // Nothing can beat the 32-CE effective peak.
+        EXPECT_LT(r.mflops, 274.0) << p.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, PerCode, ::testing::Range(0, 13));
+
+// ---------------------------------------------------------------------
+// Section 3.3 transformation catalog
+// ---------------------------------------------------------------------
+
+#include "perfect/restructure.hh"
+
+TEST(Restructure, EveryCodeHasNormalizedWeights)
+{
+    for (const auto &code : perfectSuite()) {
+        double sum = 0.0;
+        for (const auto &use :
+             perfect::transformationsFor(code.name)) {
+            EXPECT_GT(use.weight, 0.0) << code.name;
+            sum += use.weight;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9) << code.name;
+    }
+}
+
+TEST(Restructure, NamesAndDescriptionsExist)
+{
+    for (unsigned i = 0; i < num_transformations; ++i) {
+        auto t = static_cast<Transformation>(i);
+        EXPECT_STRNE(transformationName(t), "?");
+        EXPECT_STRNE(transformationDescription(t), "?");
+    }
+}
+
+TEST(Restructure, LeaveOneOutInterpolatesBetweenKapAndAuto)
+{
+    PerfectModel model;
+    const auto &adm = perfectCode("ADM");
+    double automatable =
+        model.evaluate(adm, Level::automatable).speedup;
+    double kap = model.evaluate(adm, Level::kap).speedup;
+    double without = speedupWithout(
+        model, adm, Transformation::array_privatization);
+    EXPECT_LT(without, automatable);
+    EXPECT_GE(without, kap);
+    // ADM does not use runtime dependence tests: unaffected.
+    EXPECT_DOUBLE_EQ(
+        speedupWithout(model, adm, Transformation::runtime_dep_tests),
+        automatable);
+}
+
+TEST(Restructure, PrivatizationIsTheCriticalTransformation)
+{
+    PerfectModel model;
+    double priv = suiteSpeedupWithout(
+        model, Transformation::array_privatization);
+    for (unsigned i = 1; i < num_transformations; ++i) {
+        double other = suiteSpeedupWithout(
+            model, static_cast<Transformation>(i));
+        EXPECT_LE(priv, other + 1e-9)
+            << transformationName(static_cast<Transformation>(i));
+    }
+}
+
+TEST(Restructure, UnknownCodeRejected)
+{
+    EXPECT_THROW(perfect::transformationsFor("NOPE"), std::logic_error);
+}

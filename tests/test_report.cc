@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the report-formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+using namespace cedar::core;
+
+TEST(Fmt, FixedDecimals)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.0, 0), "3");
+    EXPECT_EQ(fmt(-1.5), "-1.5");
+}
+
+TEST(Fmt, VsPaperCells)
+{
+    EXPECT_EQ(vsPaper(13.3, 14.5), "13.3 (14.5)");
+    EXPECT_EQ(vsPaper(68.0, 68.0, 0), "68 (68)");
+}
+
+TEST(Fmt, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(relativeError(11.0, 10.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(9.0, 10.0), 0.1);
+    EXPECT_THROW(relativeError(1.0, 0.0), std::logic_error);
+}
+
+TEST(TableWriter, AlignsColumns)
+{
+    TableWriter table({"code", "value"}, 4);
+    table.row({"ADM", "1.5"});
+    table.row({"LONGNAME", "10.25"});
+    std::string out = table.str();
+    // Header present, separator present, rows present.
+    EXPECT_NE(out.find("code"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("LONGNAME"), std::string::npos);
+    // Right-aligned numeric column: "1.5" is padded on the left.
+    EXPECT_NE(out.find("  1.5"), std::string::npos);
+}
+
+TEST(TableWriter, RejectsRaggedRows)
+{
+    TableWriter table({"a", "b"});
+    EXPECT_THROW(table.row({"only-one"}), std::logic_error);
+}
+
+TEST(TableWriter, EmptyTableStillRenders)
+{
+    TableWriter table({"a"});
+    EXPECT_FALSE(table.str().empty());
+}
+
+// ---------------------------------------------------------------------
+// Machine snapshot / report
+// ---------------------------------------------------------------------
+
+#include "core/machine_report.hh"
+#include "kernels/vload.hh"
+#include "machine/cedar.hh"
+
+TEST(MachineReport, SnapshotReflectsARun)
+{
+    cedar::setLogQuiet(true);
+    cedar::machine::CedarMachine machine;
+    cedar::kernels::VloadParams params;
+    params.ces = 8;
+    params.repetitions = 20;
+    cedar::kernels::runVload(machine, params);
+
+    auto snap = cedar::core::snapshot(machine);
+    EXPECT_GT(snap.elapsed, 0u);
+    EXPECT_EQ(snap.gm_reads, 8u * 20u * 32u);
+    EXPECT_EQ(snap.pfu_requests, snap.gm_reads);
+    EXPECT_GE(snap.pfu_latency_mean, 8.0);
+    EXPECT_GT(snap.rev_delivered_words, 0u);
+    EXPECT_LE(snap.gm_bandwidth_utilization, 1.0);
+}
+
+TEST(MachineReport, RenderMentionsEverySection)
+{
+    cedar::core::MachineSnapshot snap;
+    snap.elapsed = 1000;
+    snap.total_flops = 2000;
+    std::string report = cedar::core::renderReport(snap);
+    for (const char *section :
+         {"machine report", "global memory", "networks", "clusters",
+          "prefetch units", "MFLOPS"}) {
+        EXPECT_NE(report.find(section), std::string::npos) << section;
+    }
+}

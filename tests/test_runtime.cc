@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Loop-runtime tests: CDOALL/XDOALL/SDOALL execute every iteration
+ * exactly once, self-scheduling really goes through global memory,
+ * the lock protocol is correct without Cedar synchronization, and the
+ * measured overheads sit near the paper's stated costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "machine/cedar.hh"
+#include "runtime/loops.hh"
+
+using namespace cedar;
+using namespace cedar::runtime;
+
+namespace {
+
+struct IterationRecorder
+{
+    std::vector<unsigned> counts;
+    explicit IterationRecorder(unsigned n) : counts(n, 0) {}
+
+    IterationBody
+    body(Cycles cycles = 20)
+    {
+        return [this, cycles](unsigned iter, unsigned,
+                              std::deque<cluster::Op> &out) {
+            ASSERT_LT(iter, counts.size());
+            ++counts[iter];
+            out.push_back(cluster::Op::makeScalar(cycles));
+        };
+    }
+
+    void
+    expectAllOnce() const
+    {
+        for (unsigned i = 0; i < counts.size(); ++i)
+            EXPECT_EQ(counts[i], 1u) << "iteration " << i;
+    }
+};
+
+} // namespace
+
+TEST(Cdoall, ExecutesEveryIterationExactlyOnce)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(100);
+    Tick end = runner.cdoall(0, 100, rec.body());
+    rec.expectAllOnce();
+    EXPECT_GT(end, 0u);
+}
+
+TEST(Cdoall, UsesRequestedCeSubset)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(12);
+    runner.cdoall(1, 12, rec.body(), 4);
+    rec.expectAllOnce();
+    // Only cluster 1's first four CEs ran.
+    EXPECT_GT(machine.clusterAt(1).ce(0).opsCompleted(), 0u);
+    EXPECT_EQ(machine.clusterAt(0).ce(0).opsCompleted(), 0u);
+}
+
+TEST(Cdoall, StartsWithinAFewMicroseconds)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(8);
+    Tick end = runner.cdoall(0, 8, rec.body(1));
+    // Paper: CDOALL can typically start in a few microseconds.
+    EXPECT_LT(ticksToMicros(end), 12.0);
+}
+
+TEST(Xdoall, SelfScheduledExecutesAll)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(200);
+    runner.xdoall(runner.allCes(), 200, rec.body());
+    rec.expectAllOnce();
+}
+
+TEST(Xdoall, StaticChunkedExecutesAll)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(97); // deliberately uneven
+    runner.xdoall(runner.allCes(), 97, rec.body(),
+                  Schedule::static_chunked);
+    rec.expectAllOnce();
+}
+
+TEST(Xdoall, StartupDominatedByGlobalMemoryPath)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(32);
+    Tick end = runner.xdoall(runner.allCes(), 32, rec.body(1));
+    double us = ticksToMicros(end);
+    // ~90 us startup plus an iteration fetch and an exhaustion fetch.
+    EXPECT_GT(us, 90.0);
+    EXPECT_LT(us, 260.0);
+}
+
+TEST(Xdoall, SelfSchedulingUsesTheSyncProcessors)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(64);
+    runner.xdoall(runner.allCes(), 64, rec.body());
+    EXPECT_GT(machine.gm().syncCount(), 64u); // one fetch per iteration
+                                              // plus exhaustion fetches
+}
+
+TEST(Xdoall, LockProtocolIsCorrectWithoutCedarSync)
+{
+    machine::CedarMachine machine;
+    RuntimeParams params;
+    params.use_cedar_sync = false;
+    LoopRunner runner(machine, params);
+    IterationRecorder rec(60);
+    runner.xdoall(runner.allCes(), 60, rec.body());
+    rec.expectAllOnce();
+}
+
+TEST(Xdoall, LockProtocolIsSlower)
+{
+    Tick with_sync, without_sync;
+    {
+        machine::CedarMachine machine;
+        LoopRunner runner(machine);
+        IterationRecorder rec(96);
+        with_sync = runner.xdoall(runner.allCes(), 96, rec.body(5));
+    }
+    {
+        machine::CedarMachine machine;
+        RuntimeParams params;
+        params.use_cedar_sync = false;
+        LoopRunner runner(machine, params);
+        IterationRecorder rec(96);
+        without_sync = runner.xdoall(runner.allCes(), 96, rec.body(5));
+    }
+    EXPECT_GT(without_sync, with_sync);
+}
+
+TEST(Xdoall, SubsetOfCesWorks)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    IterationRecorder rec(20);
+    runner.xdoall({0, 9, 17, 25}, 20, rec.body());
+    rec.expectAllOnce();
+}
+
+TEST(Sdoall, SchedulesIterationsOnClusters)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    std::vector<unsigned> inner_counts(6 * 16, 0);
+    Tick end = runner.sdoall(
+        {0, 1, 2, 3}, 6, [&](unsigned iter, unsigned) {
+            LoopRunner::SdoallIteration work;
+            work.serial_cycles = 50;
+            work.inner_iters = 16;
+            work.inner_body = [&inner_counts, iter](
+                                  unsigned inner, unsigned,
+                                  std::deque<cluster::Op> &out) {
+                ++inner_counts[iter * 16 + inner];
+                out.push_back(cluster::Op::makeScalar(10));
+            };
+            return work;
+        });
+    for (unsigned c : inner_counts)
+        EXPECT_EQ(c, 1u);
+    EXPECT_GT(end, 0u);
+}
+
+TEST(Sdoall, SerialOnlyIterationsComplete)
+{
+    machine::CedarMachine machine;
+    LoopRunner runner(machine);
+    unsigned invocations = 0;
+    runner.sdoall({0, 1}, 8, [&](unsigned, unsigned) {
+        ++invocations;
+        LoopRunner::SdoallIteration work;
+        work.serial_cycles = 100;
+        return work;
+    });
+    EXPECT_EQ(invocations, 8u);
+}
+
+TEST(Sdoall, HierarchicalNestBeatsFlatXdoallOnFineGrain)
+{
+    // The SDOALL/CDOALL nest uses the concurrency bus for inner
+    // scheduling; a flat XDOALL pays the global-memory fetch per
+    // iteration. For fine-grained bodies the nest must win.
+    Tick nested, flat;
+    {
+        machine::CedarMachine machine;
+        LoopRunner runner(machine);
+        nested = runner.sdoall({0, 1, 2, 3}, 4, [](unsigned, unsigned) {
+            LoopRunner::SdoallIteration work;
+            work.inner_iters = 64;
+            work.inner_body = [](unsigned, unsigned,
+                                 std::deque<cluster::Op> &out) {
+                out.push_back(cluster::Op::makeScalar(30));
+            };
+            return work;
+        });
+    }
+    {
+        machine::CedarMachine machine;
+        LoopRunner runner(machine);
+        IterationRecorder rec(256);
+        flat = runner.xdoall(runner.allCes(), 256, rec.body(30));
+    }
+    EXPECT_LT(nested, flat);
+}
+
+TEST(RuntimeParams, FetchCostNearPaperValue)
+{
+    // Two runs differing by 10 iterations per CE isolate the fetch.
+    auto run = [](unsigned iters) {
+        machine::CedarMachine machine;
+        LoopRunner runner(machine);
+        IterationRecorder rec(iters);
+        return runner.xdoall(runner.allCes(), iters, rec.body(1));
+    };
+    double t1 = ticksToMicros(run(32));
+    double t11 = ticksToMicros(run(32 * 11));
+    double fetch_us = (t11 - t1) / 10.0;
+    EXPECT_GT(fetch_us, 20.0);
+    EXPECT_LT(fetch_us, 45.0); // paper: ~30 us
+}
+
+// ---------------------------------------------------------------------
+// GM barrier protocol and microbenchmarks
+// ---------------------------------------------------------------------
+
+#include "runtime/gmbarrier.hh"
+#include "runtime/microbench.hh"
+
+TEST(GmBarrier, ProtocolEmitsAddThenSpins)
+{
+    GmBarrierProtocol protocol(mem::globalAddr(0), 4);
+    std::deque<cluster::Op> out;
+    protocol.begin(out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, cluster::OpKind::sync);
+    out.clear();
+    // First arrival of 4: old value 0 -> not passed, spin ops pushed.
+    EXPECT_FALSE(protocol.onSync(mem::SyncResult{0, true}, out));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].kind, cluster::OpKind::scalar);
+    EXPECT_EQ(out[1].kind, cluster::OpKind::sync);
+    out.clear();
+    // Spin read sees the full count: passed.
+    EXPECT_TRUE(protocol.onSync(mem::SyncResult{4, true}, out));
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(protocol.active());
+}
+
+TEST(GmBarrier, LastArrivalPassesImmediately)
+{
+    GmBarrierProtocol protocol(mem::globalAddr(0), 4);
+    std::deque<cluster::Op> out;
+    protocol.begin(out);
+    out.clear();
+    // This CE's add is the fourth: old 3 + 1 == target.
+    EXPECT_TRUE(protocol.onSync(mem::SyncResult{3, true}, out));
+}
+
+TEST(GmBarrier, EpisodesCountUp)
+{
+    GmBarrierProtocol protocol(mem::globalAddr(0), 2);
+    std::deque<cluster::Op> out;
+    protocol.begin(out);
+    out.clear();
+    EXPECT_TRUE(protocol.onSync(mem::SyncResult{1, true}, out));
+    EXPECT_EQ(protocol.episode(), 1u);
+    protocol.begin(out);
+    out.clear();
+    // Second episode target is 4.
+    EXPECT_FALSE(protocol.onSync(mem::SyncResult{2, true}, out));
+    out.clear();
+    EXPECT_TRUE(protocol.onSync(mem::SyncResult{4, true}, out));
+    EXPECT_EQ(protocol.episode(), 2u);
+}
+
+TEST(GmBarrier, BeginTwicePanics)
+{
+    GmBarrierProtocol protocol(mem::globalAddr(0), 2);
+    std::deque<cluster::Op> out;
+    protocol.begin(out);
+    EXPECT_THROW(protocol.begin(out), std::logic_error);
+}
+
+TEST(Microbench, BarrierCostGrowsWithCes)
+{
+    double b2 = measureGmBarrierMicros(2, 4);
+    double b32 = measureGmBarrierMicros(32, 4);
+    EXPECT_GT(b2, 0.0);
+    // 32 CEs hammer one memory module: visibly more expensive.
+    EXPECT_GT(b32, 1.5 * b2);
+}
+
+TEST(Microbench, MeasuredCostsNearPaperValues)
+{
+    auto costs = measureRuntimeCosts(8);
+    EXPECT_GT(costs.iter_fetch_us, 20.0);
+    EXPECT_LT(costs.iter_fetch_us, 45.0); // paper ~30 us
+    EXPECT_GT(costs.iter_fetch_nosync_us, costs.iter_fetch_us);
+    EXPECT_GT(costs.cdoall_us, 1.0);
+    EXPECT_LT(costs.cdoall_us, 12.0); // paper: a few us
+    EXPECT_GT(costs.barrier_us, 0.0);
+}

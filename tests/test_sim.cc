@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the simulation core: event ordering, time semantics,
+ * statistics, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace cedar;
+
+TEST(Engine, RunsEventsInTimeOrder)
+{
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.curTick(), 30u);
+}
+
+TEST(Engine, SameTickOrderedByPriorityThenInsertion)
+{
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule(5, [&] { order.push_back(2); }, EventPriority::normal);
+    sim.schedule(5, [&] { order.push_back(3); }, EventPriority::normal);
+    sim.schedule(5, [&] { order.push_back(1); },
+                 EventPriority::memory_response);
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventsCanScheduleEvents)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(1, [&] {
+        ++fired;
+        sim.scheduleIn(9, [&] { ++fired; });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.curTick(), 10u);
+}
+
+TEST(Engine, SchedulingInThePastPanics)
+{
+    Simulation sim;
+    sim.schedule(10, [&] {
+        EXPECT_THROW(sim.schedule(5, [] {}), std::logic_error);
+    });
+    sim.run();
+}
+
+TEST(Engine, RunUntilStopsAtHorizonAndResumes)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(100, [&] { ++fired; });
+    sim.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.curTick(), 50u);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.curTick(), 100u);
+}
+
+TEST(Engine, StopHaltsTheLoop)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(1, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(2, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventLimitGuardsRunaways)
+{
+    Simulation sim;
+    sim.setEventLimit(100);
+    std::function<void()> loop = [&] { sim.scheduleIn(1, loop); };
+    sim.schedule(0, loop);
+    EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(0), 0.0);
+    // One cycle is 170 ns.
+    EXPECT_DOUBLE_EQ(ticksToSeconds(1), 170e-9);
+    EXPECT_DOUBLE_EQ(ticksToMicros(1000), 170.0);
+    // 90 us is about 530 cycles.
+    EXPECT_EQ(microsToTicks(90.0), 530u);
+    EXPECT_NEAR(ticksToMicros(microsToTicks(90.0)), 90.0, 0.2);
+}
+
+TEST(Types, MflopsArithmetic)
+{
+    // 2 flops per cycle at 170 ns => 11.76 MFLOPS.
+    double rate = mflops(2.0e6, 1000000);
+    EXPECT_NEAR(rate, 11.76, 0.01);
+    EXPECT_DOUBLE_EQ(mflops(100.0, 0), 0.0);
+}
+
+TEST(Stats, SampleStatSummaries)
+{
+    SampleStat s;
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_NEAR(s.stddev(), 2.582, 1e-3);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndPercentiles)
+{
+    Histogram h(10, 1.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i % 10);
+    EXPECT_EQ(h.bucket(0), 10u);
+    EXPECT_EQ(h.overflow(), 0u);
+    h.sample(1000.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    h.sample(-1.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    double median = h.percentile(0.5);
+    EXPECT_GE(median, 3.0);
+    EXPECT_LE(median, 7.0);
+}
+
+TEST(Stats, HarmonicMeanMatchesHandComputation)
+{
+    // Harmonic mean of 2 and 6 is 3.
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 6.0}), 3.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 6.0}), 4.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(17), 17u);
+    }
+}

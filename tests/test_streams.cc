@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the op-stream building blocks and the logging facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/streams.hh"
+#include "sim/logging.hh"
+
+using namespace cedar;
+using namespace cedar::runtime;
+
+TEST(ProgramStream, YieldsOpsInOrderThenEnds)
+{
+    ProgramStream stream({Op::makeScalar(1), Op::makeScalar(2),
+                          Op::makeScalar(3)});
+    Op op;
+    for (Cycles expected : {1u, 2u, 3u}) {
+        ASSERT_TRUE(stream.next(op));
+        EXPECT_EQ(op.cycles, expected);
+    }
+    EXPECT_FALSE(stream.next(op));
+    EXPECT_FALSE(stream.next(op)); // stays exhausted
+}
+
+TEST(ProgramStream, RewindRestarts)
+{
+    ProgramStream stream({Op::makeScalar(7)});
+    Op op;
+    EXPECT_TRUE(stream.next(op));
+    EXPECT_FALSE(stream.next(op));
+    stream.rewind();
+    EXPECT_TRUE(stream.next(op));
+    EXPECT_EQ(op.cycles, 7u);
+}
+
+TEST(ProgramStream, AppendExtends)
+{
+    ProgramStream stream;
+    EXPECT_EQ(stream.size(), 0u);
+    stream.append(Op::makeScalar(4));
+    stream.append(Op::makeBarrier(1));
+    EXPECT_EQ(stream.size(), 2u);
+    Op op;
+    EXPECT_TRUE(stream.next(op));
+    EXPECT_EQ(op.kind, cluster::OpKind::scalar);
+    EXPECT_TRUE(stream.next(op));
+    EXPECT_EQ(op.kind, cluster::OpKind::barrier);
+}
+
+TEST(GeneratorStream, RefillsLazilyUntilGeneratorEnds)
+{
+    int refills = 0;
+    GeneratorStream stream([&refills](std::deque<Op> &out) {
+        if (refills >= 3)
+            return false;
+        ++refills;
+        out.push_back(Op::makeScalar(static_cast<Cycles>(refills)));
+        out.push_back(Op::makeScalar(static_cast<Cycles>(refills)));
+        return true;
+    });
+    Op op;
+    int count = 0;
+    while (stream.next(op))
+        ++count;
+    EXPECT_EQ(count, 6);
+    EXPECT_EQ(refills, 3);
+}
+
+TEST(GeneratorStream, EmptyRefillRoundsAreSkipped)
+{
+    // A refill that pushes nothing but returns true must not stall.
+    int calls = 0;
+    GeneratorStream stream([&calls](std::deque<Op> &out) {
+        ++calls;
+        if (calls == 1)
+            return true; // pushed nothing
+        if (calls == 2) {
+            out.push_back(Op::makeScalar(9));
+            return true;
+        }
+        return false;
+    });
+    Op op;
+    ASSERT_TRUE(stream.next(op));
+    EXPECT_EQ(op.cycles, 9u);
+    EXPECT_FALSE(stream.next(op));
+}
+
+TEST(GeneratorStream, SyncHandlerReceivesResults)
+{
+    std::vector<std::int32_t> seen;
+    GeneratorStream stream([](std::deque<Op> &) { return false; },
+                           [&seen](const mem::SyncResult &r) {
+                               seen.push_back(r.old_value);
+                           });
+    stream.syncResult(mem::SyncResult{41, true});
+    stream.syncResult(mem::SyncResult{42, false});
+    EXPECT_EQ(seen, (std::vector<std::int32_t>{41, 42}));
+}
+
+TEST(GeneratorStream, PushFrontPreemptsQueue)
+{
+    GeneratorStream stream([pushed = false](std::deque<Op> &out) mutable {
+        if (pushed)
+            return false;
+        pushed = true;
+        out.push_back(Op::makeScalar(1));
+        return true;
+    });
+    stream.pushFront(Op::makeScalar(99));
+    Op op;
+    ASSERT_TRUE(stream.next(op));
+    EXPECT_EQ(op.cycles, 99u);
+    ASSERT_TRUE(stream.next(op));
+    EXPECT_EQ(op.cycles, 1u);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("broken invariant ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad config ", "x"), std::runtime_error);
+}
+
+TEST(Logging, SimAssertPassesAndFails)
+{
+    EXPECT_NO_THROW(sim_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(sim_assert(false, "nope ", 3), std::logic_error);
+}
+
+TEST(Logging, QuietModeToggles)
+{
+    bool was_quiet = logQuiet();
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    warn("this warning is suppressed in quiet mode");
+    inform("and so is this");
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+    setLogQuiet(was_quiet);
+}
+
+TEST(OpFactories, FieldsLandWhereExpected)
+{
+    Op v = Op::makeVector(32, cluster::VecSource::cache, 2.0, 100, 4, 2,
+                          true);
+    EXPECT_EQ(v.kind, cluster::OpKind::vector);
+    EXPECT_EQ(v.length, 32u);
+    EXPECT_EQ(v.addr, 100u);
+    EXPECT_EQ(v.stride, 4u);
+    EXPECT_EQ(v.words_per_elem, 2u);
+    EXPECT_TRUE(v.write_stream);
+    EXPECT_DOUBLE_EQ(v.flops, 64.0);
+
+    Op p = Op::makeVectorFromPrefetch(16, 32, 1.0);
+    EXPECT_EQ(p.source, cluster::VecSource::prefetch_buffer);
+    EXPECT_EQ(p.buf_offset, 32u);
+
+    Op s = Op::makeSync(7, mem::SyncOp::fetchAndAdd(3));
+    EXPECT_EQ(s.kind, cluster::OpKind::sync);
+    EXPECT_EQ(s.sync_op.operand, 3);
+
+    EXPECT_EQ(Op::makeCoherenceFlush().kind,
+              cluster::OpKind::coherence);
+}
