@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_topology.dir/fig12_topology.cc.o"
+  "CMakeFiles/fig12_topology.dir/fig12_topology.cc.o.d"
+  "fig12_topology"
+  "fig12_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

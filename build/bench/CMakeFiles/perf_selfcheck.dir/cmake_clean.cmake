@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_selfcheck.dir/perf_selfcheck.cc.o"
+  "CMakeFiles/perf_selfcheck.dir/perf_selfcheck.cc.o.d"
+  "perf_selfcheck"
+  "perf_selfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_selfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppt4_scalability.dir/ppt4_scalability.cc.o"
+  "CMakeFiles/ppt4_scalability.dir/ppt4_scalability.cc.o.d"
+  "ppt4_scalability"
+  "ppt4_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppt4_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

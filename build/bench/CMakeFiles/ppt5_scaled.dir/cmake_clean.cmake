@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppt5_scaled.dir/ppt5_scaled.cc.o"
+  "CMakeFiles/ppt5_scaled.dir/ppt5_scaled.cc.o.d"
+  "ppt5_scaled"
+  "ppt5_scaled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppt5_scaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

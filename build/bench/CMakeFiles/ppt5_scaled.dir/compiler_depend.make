@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ppt5_scaled.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppt5_scaled.
+# This may be replaced when dependencies are built.

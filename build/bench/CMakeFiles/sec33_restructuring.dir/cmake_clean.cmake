@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_restructuring.dir/sec33_restructuring.cc.o"
+  "CMakeFiles/sec33_restructuring.dir/sec33_restructuring.cc.o.d"
+  "sec33_restructuring"
+  "sec33_restructuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_restructuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

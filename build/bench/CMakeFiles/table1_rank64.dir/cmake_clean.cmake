@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rank64.dir/table1_rank64.cc.o"
+  "CMakeFiles/table1_rank64.dir/table1_rank64.cc.o.d"
+  "table1_rank64"
+  "table1_rank64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rank64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

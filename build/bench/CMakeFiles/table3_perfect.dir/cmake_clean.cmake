@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_perfect.dir/table3_perfect.cc.o"
+  "CMakeFiles/table3_perfect.dir/table3_perfect.cc.o.d"
+  "table3_perfect"
+  "table3_perfect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

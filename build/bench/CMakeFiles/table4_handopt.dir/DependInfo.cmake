@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_handopt.cc" "bench/CMakeFiles/table4_handopt.dir/table4_handopt.cc.o" "gcc" "bench/CMakeFiles/table4_handopt.dir/table4_handopt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cedar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cedar_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cedar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cedar_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cedar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/cedar_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfect/CMakeFiles/cedar_perfect.dir/DependInfo.cmake"
+  "/root/repo/build/src/method/CMakeFiles/cedar_method.dir/DependInfo.cmake"
+  "/root/repo/build/src/xylem/CMakeFiles/cedar_xylem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cedar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cedar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_handopt.dir/table4_handopt.cc.o"
+  "CMakeFiles/table4_handopt.dir/table4_handopt.cc.o.d"
+  "table4_handopt"
+  "table4_handopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_handopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_stability.dir/table5_stability.cc.o"
+  "CMakeFiles/table5_stability.dir/table5_stability.cc.o.d"
+  "table5_stability"
+  "table5_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_bands.dir/table6_bands.cc.o"
+  "CMakeFiles/table6_bands.dir/table6_bands.cc.o.d"
+  "table6_bands"
+  "table6_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_study.dir/vm_study.cc.o"
+  "CMakeFiles/vm_study.dir/vm_study.cc.o.d"
+  "vm_study"
+  "vm_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/judging_parallelism.dir/judging_parallelism.cpp.o"
+  "CMakeFiles/judging_parallelism.dir/judging_parallelism.cpp.o.d"
+  "judging_parallelism"
+  "judging_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/judging_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

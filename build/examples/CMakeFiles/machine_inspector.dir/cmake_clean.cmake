@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_inspector.dir/machine_inspector.cpp.o"
+  "CMakeFiles/machine_inspector.dir/machine_inspector.cpp.o.d"
+  "machine_inspector"
+  "machine_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

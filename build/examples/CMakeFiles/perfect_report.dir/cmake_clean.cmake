@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfect_report.dir/perfect_report.cpp.o"
+  "CMakeFiles/perfect_report.dir/perfect_report.cpp.o.d"
+  "perfect_report"
+  "perfect_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfect_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_cluster.dir/cache.cc.o"
+  "CMakeFiles/cedar_cluster.dir/cache.cc.o.d"
+  "CMakeFiles/cedar_cluster.dir/ce.cc.o"
+  "CMakeFiles/cedar_cluster.dir/ce.cc.o.d"
+  "CMakeFiles/cedar_cluster.dir/cluster.cc.o"
+  "CMakeFiles/cedar_cluster.dir/cluster.cc.o.d"
+  "libcedar_cluster.a"
+  "libcedar_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

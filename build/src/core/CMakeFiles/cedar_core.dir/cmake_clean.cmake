@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_core.dir/machine_report.cc.o"
+  "CMakeFiles/cedar_core.dir/machine_report.cc.o.d"
+  "CMakeFiles/cedar_core.dir/report.cc.o"
+  "CMakeFiles/cedar_core.dir/report.cc.o.d"
+  "libcedar_core.a"
+  "libcedar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

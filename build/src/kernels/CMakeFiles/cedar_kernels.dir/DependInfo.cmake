@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/banded.cc" "src/kernels/CMakeFiles/cedar_kernels.dir/banded.cc.o" "gcc" "src/kernels/CMakeFiles/cedar_kernels.dir/banded.cc.o.d"
+  "/root/repo/src/kernels/cg.cc" "src/kernels/CMakeFiles/cedar_kernels.dir/cg.cc.o" "gcc" "src/kernels/CMakeFiles/cedar_kernels.dir/cg.cc.o.d"
+  "/root/repo/src/kernels/rank64.cc" "src/kernels/CMakeFiles/cedar_kernels.dir/rank64.cc.o" "gcc" "src/kernels/CMakeFiles/cedar_kernels.dir/rank64.cc.o.d"
+  "/root/repo/src/kernels/tridiag.cc" "src/kernels/CMakeFiles/cedar_kernels.dir/tridiag.cc.o" "gcc" "src/kernels/CMakeFiles/cedar_kernels.dir/tridiag.cc.o.d"
+  "/root/repo/src/kernels/vload.cc" "src/kernels/CMakeFiles/cedar_kernels.dir/vload.cc.o" "gcc" "src/kernels/CMakeFiles/cedar_kernels.dir/vload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/cedar_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cedar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cedar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/cedar_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cedar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cedar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfect/CMakeFiles/cedar_perfect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_kernels.dir/banded.cc.o"
+  "CMakeFiles/cedar_kernels.dir/banded.cc.o.d"
+  "CMakeFiles/cedar_kernels.dir/cg.cc.o"
+  "CMakeFiles/cedar_kernels.dir/cg.cc.o.d"
+  "CMakeFiles/cedar_kernels.dir/rank64.cc.o"
+  "CMakeFiles/cedar_kernels.dir/rank64.cc.o.d"
+  "CMakeFiles/cedar_kernels.dir/tridiag.cc.o"
+  "CMakeFiles/cedar_kernels.dir/tridiag.cc.o.d"
+  "CMakeFiles/cedar_kernels.dir/vload.cc.o"
+  "CMakeFiles/cedar_kernels.dir/vload.cc.o.d"
+  "libcedar_kernels.a"
+  "libcedar_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

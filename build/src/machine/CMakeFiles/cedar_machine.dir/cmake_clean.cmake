@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_machine.dir/cedar.cc.o"
+  "CMakeFiles/cedar_machine.dir/cedar.cc.o.d"
+  "CMakeFiles/cedar_machine.dir/perfmon.cc.o"
+  "CMakeFiles/cedar_machine.dir/perfmon.cc.o.d"
+  "libcedar_machine.a"
+  "libcedar_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cedar_machine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_mem.dir/globalmem.cc.o"
+  "CMakeFiles/cedar_mem.dir/globalmem.cc.o.d"
+  "CMakeFiles/cedar_mem.dir/syncops.cc.o"
+  "CMakeFiles/cedar_mem.dir/syncops.cc.o.d"
+  "libcedar_mem.a"
+  "libcedar_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/method/machines.cc" "src/method/CMakeFiles/cedar_method.dir/machines.cc.o" "gcc" "src/method/CMakeFiles/cedar_method.dir/machines.cc.o.d"
+  "/root/repo/src/method/ppt.cc" "src/method/CMakeFiles/cedar_method.dir/ppt.cc.o" "gcc" "src/method/CMakeFiles/cedar_method.dir/ppt.cc.o.d"
+  "/root/repo/src/method/stability.cc" "src/method/CMakeFiles/cedar_method.dir/stability.cc.o" "gcc" "src/method/CMakeFiles/cedar_method.dir/stability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_method.dir/machines.cc.o"
+  "CMakeFiles/cedar_method.dir/machines.cc.o.d"
+  "CMakeFiles/cedar_method.dir/ppt.cc.o"
+  "CMakeFiles/cedar_method.dir/ppt.cc.o.d"
+  "CMakeFiles/cedar_method.dir/stability.cc.o"
+  "CMakeFiles/cedar_method.dir/stability.cc.o.d"
+  "libcedar_method.a"
+  "libcedar_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_net.dir/omega.cc.o"
+  "CMakeFiles/cedar_net.dir/omega.cc.o.d"
+  "libcedar_net.a"
+  "libcedar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

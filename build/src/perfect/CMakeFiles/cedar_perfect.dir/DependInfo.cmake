@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfect/model.cc" "src/perfect/CMakeFiles/cedar_perfect.dir/model.cc.o" "gcc" "src/perfect/CMakeFiles/cedar_perfect.dir/model.cc.o.d"
+  "/root/repo/src/perfect/restructure.cc" "src/perfect/CMakeFiles/cedar_perfect.dir/restructure.cc.o" "gcc" "src/perfect/CMakeFiles/cedar_perfect.dir/restructure.cc.o.d"
+  "/root/repo/src/perfect/suite.cc" "src/perfect/CMakeFiles/cedar_perfect.dir/suite.cc.o" "gcc" "src/perfect/CMakeFiles/cedar_perfect.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_perfect.dir/model.cc.o"
+  "CMakeFiles/cedar_perfect.dir/model.cc.o.d"
+  "CMakeFiles/cedar_perfect.dir/restructure.cc.o"
+  "CMakeFiles/cedar_perfect.dir/restructure.cc.o.d"
+  "CMakeFiles/cedar_perfect.dir/suite.cc.o"
+  "CMakeFiles/cedar_perfect.dir/suite.cc.o.d"
+  "libcedar_perfect.a"
+  "libcedar_perfect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_prefetch.dir/pfu.cc.o"
+  "CMakeFiles/cedar_prefetch.dir/pfu.cc.o.d"
+  "libcedar_prefetch.a"
+  "libcedar_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

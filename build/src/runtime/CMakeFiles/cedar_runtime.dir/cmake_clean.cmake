@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_runtime.dir/loops.cc.o"
+  "CMakeFiles/cedar_runtime.dir/loops.cc.o.d"
+  "CMakeFiles/cedar_runtime.dir/microbench.cc.o"
+  "CMakeFiles/cedar_runtime.dir/microbench.cc.o.d"
+  "libcedar_runtime.a"
+  "libcedar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_sim.dir/engine.cc.o"
+  "CMakeFiles/cedar_sim.dir/engine.cc.o.d"
+  "CMakeFiles/cedar_sim.dir/logging.cc.o"
+  "CMakeFiles/cedar_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cedar_sim.dir/stats.cc.o"
+  "CMakeFiles/cedar_sim.dir/stats.cc.o.d"
+  "libcedar_sim.a"
+  "libcedar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xylem/io.cc" "src/xylem/CMakeFiles/cedar_xylem.dir/io.cc.o" "gcc" "src/xylem/CMakeFiles/cedar_xylem.dir/io.cc.o.d"
+  "/root/repo/src/xylem/vm.cc" "src/xylem/CMakeFiles/cedar_xylem.dir/vm.cc.o" "gcc" "src/xylem/CMakeFiles/cedar_xylem.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cedar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cedar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_xylem.dir/io.cc.o"
+  "CMakeFiles/cedar_xylem.dir/io.cc.o.d"
+  "CMakeFiles/cedar_xylem.dir/vm.cc.o"
+  "CMakeFiles/cedar_xylem.dir/vm.cc.o.d"
+  "libcedar_xylem.a"
+  "libcedar_xylem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_xylem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

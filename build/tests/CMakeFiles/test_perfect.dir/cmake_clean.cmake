@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfect.dir/test_perfect.cc.o"
+  "CMakeFiles/test_perfect.dir/test_perfect.cc.o.d"
+  "test_perfect"
+  "test_perfect.pdb"
+  "test_perfect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xylem.dir/test_xylem.cc.o"
+  "CMakeFiles/test_xylem.dir/test_xylem.cc.o.d"
+  "test_xylem"
+  "test_xylem.pdb"
+  "test_xylem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xylem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
