@@ -36,9 +36,10 @@ rank64Mflops(const machine::CedarConfig &cfg, unsigned prefetch_block,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("ablation_network", argc, argv);
     std::printf("Network / prefetch ablations (rank-64 GM/pref, 4 "
                 "clusters; paper Table 1 value: 104 MFLOPS)\n\n");
 
@@ -47,7 +48,13 @@ main()
         for (Cycles extra : {0u, 1u, 2u, 3u}) {
             machine::CedarConfig cfg;
             cfg.gm.module_conflict_extra = extra;
-            t.row({core::fmt(extra, 0), core::fmt(rank64Mflops(cfg, 256))});
+            double rate = rank64Mflops(cfg, 256);
+            if (extra == 0 || extra == 2) {
+                out.metric("conflict_extra_" + std::to_string(extra) +
+                               "_mflops",
+                           rate);
+            }
+            t.row({core::fmt(extra, 0), core::fmt(rate)});
         }
         t.print();
         std::printf("(the shipped default is 2; 0 is the ideal-fluid "
@@ -91,12 +98,17 @@ main()
         core::TableWriter t({"prefetch block (words)", "MFLOPS"});
         for (unsigned block : {32u, 64u, 128u, 256u}) {
             machine::CedarConfig cfg;
-            t.row({core::fmt(block, 0),
-                   core::fmt(rank64Mflops(cfg, block))});
+            double rate = rank64Mflops(cfg, block);
+            if (block == 32 || block == 256) {
+                out.metric("block_" + std::to_string(block) + "_mflops",
+                           rate);
+            }
+            t.row({core::fmt(block, 0), core::fmt(rate)});
         }
         t.print();
         std::printf("(the hand RK kernel's 256-word blocks amortize the "
                     "fire/consume pipeline bubbles)\n");
     }
+    out.emit();
     return 0;
 }

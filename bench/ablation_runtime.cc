@@ -42,9 +42,10 @@ xdoallMicros(unsigned ces, unsigned n_iters, bool cedar_sync)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("ablation_runtime", argc, argv);
     std::printf("Runtime microbenchmarks (measured on the simulated "
                 "machine)\n\n");
 
@@ -123,11 +124,17 @@ main()
                 out.push_back(cluster::Op::makeScalar(100));
             },
             sched);
-        std::printf("  %-15s %.0f us\n",
-                    sched == runtime::Schedule::self_scheduled
-                        ? "self-scheduled"
-                        : "static",
+        bool self = sched == runtime::Schedule::self_scheduled;
+        std::printf("  %-15s %.0f us\n", self ? "self-scheduled" : "static",
                     ticksToMicros(end));
+        out.metric(self ? "xdoall_self_us" : "xdoall_static_us",
+                   ticksToMicros(end));
     }
+
+    out.metric("xdoall_startup_us", t32_1);
+    out.metric("fetch_per_iter_us", fetch_per_iter);
+    out.metric("fetch_nosync_us", fetch_nosync);
+    out.metric("lock_penalty", fetch_nosync / fetch_per_iter);
+    out.emit();
     return 0;
 }

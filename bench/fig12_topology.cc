@@ -16,9 +16,10 @@
 using namespace cedar;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("fig12_topology", argc, argv);
     machine::CedarMachine machine;
     const auto &cfg = machine.config();
 
@@ -96,5 +97,15 @@ main()
     std::printf("\nrouting self-check: %u x %u port pairs, %llu hops "
                 "walked, all unique-path assertions held\n",
                 ports, ports, static_cast<unsigned long long>(paths));
+
+    out.metric("clusters", machine.numClusters());
+    out.metric("ces", machine.numCes());
+    out.metric("peak_mflops", cfg.peakMflops());
+    out.metric("effective_peak_mflops", cfg.effectivePeakMflops());
+    out.metric("global_bw_mb_s", sys_mb_s);
+    out.metric("min_read_latency_cycles",
+               std::uint64_t(gm.minReadLatency()));
+    out.metric("route_hops", paths);
+    out.emit();
     return 0;
 }

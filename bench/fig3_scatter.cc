@@ -20,9 +20,10 @@
 using namespace cedar;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("fig3_scatter", argc, argv);
     perfect::PerfectModel model;
     auto hand = model.evaluateSuite(perfect::Level::hand);
     const auto &ymp = method::ympRef();
@@ -98,5 +99,13 @@ main()
                 "(paper: both pass)\n",
                 cedar_ppt1.passed ? "passes" : "fails",
                 ymp_ppt1.passed ? "passes" : "fails");
+
+    out.metric("cedar_high", cedar_bands.high);
+    out.metric("cedar_intermediate", cedar_bands.intermediate);
+    out.metric("cedar_unacceptable", cedar_bands.unacceptable);
+    out.metric("ymp_high", ymp_bands.high);
+    out.metric("cedar_ppt1_pass", cedar_ppt1.passed ? 1 : 0);
+    out.metric("ymp_ppt1_pass", ymp_ppt1.passed ? 1 : 0);
+    out.emit();
     return 0;
 }

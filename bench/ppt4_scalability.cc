@@ -37,9 +37,10 @@ cgSerialEstimateSeconds(unsigned n, unsigned iterations)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("ppt4_scalability", argc, argv);
 
     std::printf("PPT4 study: CG scalability on Cedar vs CM-5 banded "
                 "matvec\n\n");
@@ -138,5 +139,14 @@ main()
     std::printf("\nper-processor MFLOPS: Cedar %.2f, CM-5 %.2f (paper: "
                 "roughly equivalent)\n",
                 cedar_per_proc, cm5_per_proc);
+
+    out.metric("mflops_min_32", mflops_min_32);
+    out.metric("mflops_max_32", mflops_max_32);
+    out.metric("high_band_threshold_n", ppt4.high_band_threshold_n);
+    out.metric("scalable", ppt4.scalable ? 1 : 0);
+    out.metric("scalable_high", ppt4.scalable_high ? 1 : 0);
+    out.metric("cedar_per_proc_mflops", cedar_per_proc);
+    out.metric("cm5_per_proc_mflops", cm5_per_proc);
+    out.emit();
     return 0;
 }

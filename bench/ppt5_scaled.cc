@@ -43,9 +43,10 @@ scaledConfig(unsigned clusters)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("ppt5_scaled", argc, argv);
     std::printf("PPT5 study: scaled-up Cedar-like systems\n");
     std::printf("(same architecture, 2x and 4x cluster counts, "
                 "bandwidth contract preserved)\n\n");
@@ -95,6 +96,13 @@ main()
                    core::fmt(cache_rate / cfg.effectivePeakMflops(), 2),
                    core::fmt(cg_rate, 0),
                    method::bandName(method::classify(cg_speedup, ces))});
+
+        std::string key = std::to_string(ces) + "ce";
+        out.metric(key + "_pref_mflops", pref_rate);
+        out.metric(key + "_cache_mflops", cache_rate);
+        out.metric(key + "_cache_eff",
+                   cache_rate / cfg.effectivePeakMflops());
+        out.metric(key + "_cg_mflops", cg_rate);
     }
     table.print();
 
@@ -105,5 +113,6 @@ main()
         "system — the architecture reimplements cleanly only for "
         "computations with\nCedar-friendly locality, which is the "
         "honest PPT5 answer the paper anticipated.\n");
+    out.emit();
     return 0;
 }

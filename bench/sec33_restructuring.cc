@@ -18,9 +18,10 @@ using namespace cedar;
 using perfect::Transformation;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("sec33_restructuring", argc, argv);
     perfect::PerfectModel model;
 
     const Transformation all[] = {
@@ -80,11 +81,18 @@ main()
     core::TableWriter table({"disabled transformation", "suite HM spd",
                              "loss", "needs advanced analysis"});
     table.row({"(none)", core::fmt(base, 2), "-", "-"});
+    double worst_loss = 0.0;
+    std::string worst_name;
     for (unsigned i = 0; i < perfect::num_transformations; ++i) {
         Transformation t = all[i];
         double without = perfect::suiteSpeedupWithout(model, t);
+        double loss = 100.0 * (1.0 - without / base);
+        if (loss > worst_loss) {
+            worst_loss = loss;
+            worst_name = perfect::transformationName(t);
+        }
         table.row({perfect::transformationName(t), core::fmt(without, 2),
-                   core::fmt(100.0 * (1.0 - without / base), 0) + "%",
+                   core::fmt(loss, 0) + "%",
                    perfect::requiresAdvancedAnalysis(t) ? "yes" : "no"});
     }
     table.print();
@@ -94,5 +102,10 @@ main()
                 "one of the analyses that\n"
                 "needs the advanced symbolic/interprocedural machinery "
                 "the paper flags.)\n");
+
+    out.metric("suite_hm_speedup", base);
+    out.metric("worst_loss_pct", worst_loss);
+    out.metric("worst_transformation", worst_name);
+    out.emit();
     return 0;
 }

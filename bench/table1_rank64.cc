@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/report.hh"
 #include "kernels/rank64.hh"
 #include "machine/cedar.hh"
 
@@ -31,9 +32,12 @@ const double paper[3][4] = {
 int
 main(int argc, char **argv)
 {
+    core::BenchOutput out("table1_rank64", argc, argv);
     unsigned n = 512;
-    if (argc > 1)
-        n = static_cast<unsigned>(std::atoi(argv[1]));
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--json")
+            n = static_cast<unsigned>(std::atoi(argv[i]));
+    }
     setLogQuiet(true);
 
     std::printf("Table 1: MFLOPS for rank-64 update on Cedar (n = %u)\n",
@@ -91,5 +95,15 @@ main(int argc, char **argv)
                 "%.0f%% | 74%%\n",
                 cfg.effectivePeakMflops(),
                 100.0 * measured[2][3] / cfg.effectivePeakMflops());
+
+    out.metric("n", n);
+    out.metric("gm_nopref_4cl_mflops", measured[0][3]);
+    out.metric("gm_pref_4cl_mflops", measured[1][3]);
+    out.metric("gm_cache_4cl_mflops", measured[2][3]);
+    out.metric("pref_improvement_1cl", measured[1][0] / measured[0][0]);
+    out.metric("cache_improvement_4cl", measured[2][3] / measured[0][3]);
+    out.metric("pct_effective_peak",
+               100.0 * measured[2][3] / cfg.effectivePeakMflops());
+    out.emit();
     return 0;
 }

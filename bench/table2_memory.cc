@@ -67,9 +67,10 @@ runKernel(const char *name, unsigned ces)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("table2_memory", argc, argv);
     const char *names[4] = {"VL", "TM", "RK", "CG"};
     const unsigned procs[3] = {8, 16, 32};
 
@@ -120,5 +121,15 @@ main()
                 "%s\n",
                 rk_worst ? "yes" : "NO", tm_cg,
                 tm_cg_similar ? "yes" : "NO");
+
+    for (int k = 0; k < 4; ++k) {
+        std::string key = rows[k].kernel;
+        out.metric(key + "_latency_8ce", rows[k].latency[0]);
+        out.metric(key + "_latency_32ce", rows[k].latency[2]);
+        out.metric(key + "_interarrival_32ce", rows[k].interarrival[2]);
+    }
+    out.metric("rk_degrades_most", rk_worst ? 1 : 0);
+    out.metric("tm_cg_ratio", tm_cg);
+    out.emit();
     return 0;
 }

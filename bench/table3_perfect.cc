@@ -17,9 +17,10 @@
 using namespace cedar;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("table3_perfect", argc, argv);
     // Ground the workload model in costs measured on the simulator.
     auto costs = runtime::measuredMachineCosts();
     std::printf("machine costs measured on the simulator: fetch %.1f "
@@ -85,5 +86,13 @@ main()
     std::printf("  TRACK (scalar-access dominated) barely reacts: "
                 "+%.0f%% without prefetch\n",
                 100.0 * (nopref[trk].seconds / nosync[trk].seconds - 1.0));
+
+    out.metric("cedar_hm_mflops", cedar_hm);
+    out.metric("ymp_hm_mflops", ymp_hm);
+    out.metric("ymp_cedar_ratio", ymp_hm / cedar_hm);
+    out.metric("qcd_auto_speedup", autov[qcd].speedup);
+    out.metric("iter_fetch_us", costs.iter_fetch_us);
+    out.metric("barrier_us", costs.barrier_us);
+    out.emit();
     return 0;
 }

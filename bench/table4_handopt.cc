@@ -36,9 +36,10 @@ const PaperRow paper_rows[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("table4_handopt", argc, argv);
     perfect::PerfectModel model;
     auto hand = model.evaluateSuite(perfect::Level::hand);
     auto nosync = model.evaluateSuite(perfect::Level::automatable_nosync);
@@ -73,11 +74,17 @@ main()
     for (std::size_t i = 0; i < hand.size(); ++i)
         if (hand[i].code == "QCD")
             qcd = i;
+    double qcd_hand_spd = serial[qcd].seconds / hand[qcd].seconds;
+    double qcd_auto_spd = model.evaluate(perfect::perfectCode("QCD"),
+                                         perfect::Level::automatable)
+                              .speedup;
     std::printf("\nQCD speed improvement over serial: hand %.1f "
                 "(paper 20.8), automatable %.1f (paper 1.8)\n",
-                serial[qcd].seconds / hand[qcd].seconds,
-                model.evaluate(perfect::perfectCode("QCD"),
-                               perfect::Level::automatable)
-                    .speedup);
+                qcd_hand_spd, qcd_auto_spd);
+
+    out.metric("qcd_hand_speedup", qcd_hand_spd);
+    out.metric("qcd_auto_speedup", qcd_auto_spd);
+    out.metric("qcd_hand_seconds", hand[qcd].seconds);
+    out.emit();
     return 0;
 }

@@ -19,9 +19,10 @@
 using namespace cedar;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("table5_stability", argc, argv);
     perfect::PerfectModel model;
     std::vector<double> cedar_rates = model.autoRates();
     std::vector<double> cray1_rates = method::cray1Ref().autoRates();
@@ -61,5 +62,13 @@ main()
                 "In(13,2) = 10.9 > 6 — an internal inconsistency; our "
                 "evaluator applies\nthe workstation bound strictly, so "
                 "the Cray 1 needs four exceptions here.\n");
+
+    out.metric("cedar_in_0", method::instability(cedar_rates, 0));
+    out.metric("cedar_in_2", method::instability(cedar_rates, 2));
+    out.metric("ymp_in_2", method::instability(ymp_rates, 2));
+    auto cedar_ppt2 = method::evaluatePpt2(cedar_rates);
+    out.metric("cedar_ppt2_pass", cedar_ppt2.passed ? 1 : 0);
+    out.metric("cedar_ppt2_exceptions", cedar_ppt2.exceptions_needed);
+    out.emit();
     return 0;
 }

@@ -13,9 +13,10 @@
 using namespace cedar;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("table6_bands", argc, argv);
     perfect::PerfectModel model;
     auto cedar_ppt3 = method::evaluatePpt3(model.autoSpeedups(), 32);
     auto ymp_ppt3 =
@@ -44,5 +45,13 @@ main()
                 "  Cedar promising: %s   YMP promising: %s\n",
                 cedar_ppt3.promising ? "yes" : "no",
                 ymp_ppt3.promising ? "yes" : "no");
+
+    out.metric("cedar_high", cedar_ppt3.bands.high);
+    out.metric("cedar_intermediate", cedar_ppt3.bands.intermediate);
+    out.metric("cedar_unacceptable", cedar_ppt3.bands.unacceptable);
+    out.metric("ymp_high", ymp_ppt3.bands.high);
+    out.metric("ymp_intermediate", ymp_ppt3.bands.intermediate);
+    out.metric("ymp_unacceptable", ymp_ppt3.bands.unacceptable);
+    out.emit();
     return 0;
 }

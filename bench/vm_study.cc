@@ -57,9 +57,10 @@ totalFaults(const xylem::VirtualMemory &vm, unsigned clusters)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    core::BenchOutput out("vm_study", argc, argv);
     // TRFD's working set is much larger than a 64-entry TLB: many
     // passes over a multi-megabyte array.
     const unsigned pages = 1024; // 4 MB
@@ -108,5 +109,12 @@ main()
                 "of the 11.5 s run the paper\nmeasured, removed by the "
                 "distributed version (%.1fx fewer faults).\n",
                 double(faults_four) / faults_dist);
+
+    out.metric("faults_one_cluster", faults_one);
+    out.metric("faults_four_shared", faults_four);
+    out.metric("faults_four_distributed", faults_dist);
+    out.metric("fault_ratio_shared", double(faults_four) / faults_one);
+    out.metric("vm_seconds_four_shared", vm_s);
+    out.emit();
     return 0;
 }

@@ -3,12 +3,15 @@
  * Example: the performance-monitoring view. Runs the same kernel under
  * increasing load and prints the full machine report each time — the
  * workflow the CSRD group used their hardware monitors for, watching
- * contention appear in the memory system as clusters join.
+ * contention appear in the memory system as clusters join. The final
+ * run also dumps the full stat registry as hierarchical JSON, writes
+ * a Chrome trace of the monitored events, and lists the debug flags.
  *
- *   $ ./examples/machine_inspector
+ *   $ ./examples/machine_inspector [--stats-json] [--chrome-trace FILE]
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/cedar.hh"
 #include "core/machine_report.hh"
@@ -16,11 +19,22 @@
 using namespace cedar;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogQuiet(true);
+    bool stats_json = false;
+    const char *trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats-json") == 0)
+            stats_json = true;
+        else if (std::strcmp(argv[i], "--chrome-trace") == 0 &&
+                 i + 1 < argc)
+            trace_path = argv[++i];
+    }
+
     for (unsigned clusters : {1u, 4u}) {
         machine::CedarMachine machine;
+        machine.enableMonitoring();
         kernels::Rank64Params params;
         params.n = 256;
         params.clusters = clusters;
@@ -33,7 +47,45 @@ main()
                     res.mflopsRate());
         auto snap = core::snapshot(machine);
         std::fputs(core::renderReport(snap).c_str(), stdout);
+
+        if (clusters == 4) {
+            std::printf("\n==== stat registry (%zu entries) ====\n",
+                        machine.stats().size());
+            if (stats_json) {
+                std::fputs(machine.stats().dumpJson().c_str(), stdout);
+                std::fputs("\n", stdout);
+            } else {
+                // A taste of the hierarchy; --stats-json prints it all.
+                std::printf("%s\n(run with --stats-json for the full "
+                            "hierarchical dump)\n",
+                            machine.stats()
+                                .dumpText()
+                                .substr(0, 600)
+                                .c_str());
+            }
+            const auto &tracer = machine.monitor().tracer();
+            std::printf("\nmonitor: %zu events captured (%llu dropped)\n",
+                        tracer.events().size(),
+                        static_cast<unsigned long long>(
+                            tracer.droppedCount()));
+            if (trace_path) {
+                if (machine::writeChromeTrace(tracer, trace_path)) {
+                    std::printf("Chrome trace written to %s (open in "
+                                "chrome://tracing or ui.perfetto.dev)\n",
+                                trace_path);
+                } else {
+                    std::printf("failed to write %s\n", trace_path);
+                }
+            }
+        }
     }
+
+    std::printf("\ndebug-trace flags (enable via CEDAR_DEBUG=Flag1,"
+                "Flag2 or CEDAR_DEBUG=All):\n ");
+    for (const auto &f : trace::flagNames())
+        std::printf(" %s", f.c_str());
+    std::printf("\n");
+
     std::printf("\nreading: at one cluster the modules barely wait; at "
                 "four the conflict counters\nand queueing means show "
                 "the saturation that flattens Table 1's GM/pref row.\n");

@@ -7,6 +7,8 @@
 
 #include "cache.hh"
 
+#include "sim/trace.hh"
+
 namespace cedar::cluster {
 
 SharedCache::SharedCache(const std::string &name,
@@ -101,6 +103,19 @@ SharedCache::streamAccess(Addr start, unsigned count, unsigned stride,
         std::uint64_t wb_words = _pending_writeback_words;
         _pending_writeback_words = 0;
         miss_done = _cmem.transfer(ready, fill_words + wb_words);
+        if (_monitor) {
+            _monitor->record(ready, Signal::cache_miss,
+                             static_cast<std::int64_t>(miss_lines));
+            _monitor->record(miss_done, Signal::cache_fill,
+                             static_cast<std::int64_t>(fill_words));
+            if (wb_words > 0) {
+                _monitor->record(miss_done, Signal::cache_writeback,
+                                 static_cast<std::int64_t>(wb_words));
+            }
+        }
+        DPRINTF(Cache, ready, "miss burst lines=", miss_lines,
+                " fill_words=", miss_lines * _words_per_line,
+                " wb_words=", wb_words, " done=", miss_done);
     }
 
     result.done = std::max(data_done, miss_done);
@@ -129,7 +144,13 @@ SharedCache::flushAll(Tick ready)
     if (dirty_words > 0) {
         _writebacks.inc(dirty_words / _words_per_line);
         done = _cmem.transfer(ready, dirty_words);
+        if (_monitor) {
+            _monitor->record(done, Signal::cache_writeback,
+                             static_cast<std::int64_t>(dirty_words));
+        }
     }
+    DPRINTF(Cache, ready, "flush dirty_words=", dirty_words, " done=",
+            done);
     invalidateAll();
     return done;
 }
@@ -152,6 +173,14 @@ SharedCache::probe(Addr addr) const
         if (w.valid && w.tag == line)
             return true;
     return false;
+}
+
+void
+SharedCache::registerStats(StatRegistry &reg)
+{
+    reg.addCounter(child("hits"), _hits);
+    reg.addCounter(child("misses"), _misses);
+    reg.addCounter(child("writebacks"), _writebacks);
 }
 
 void

@@ -18,6 +18,8 @@
 #include "cluster/clustermem.hh"
 #include "cluster/fluid.hh"
 #include "sim/named.hh"
+#include "sim/probes.hh"
+#include "sim/statreg.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -105,6 +107,12 @@ class SharedCache : public Named
 
     FluidResource &bandwidth() { return _bandwidth; }
 
+    /** Post miss/fill/writeback events to @p m (nullptr detaches). */
+    void attachMonitor(MonitorSink *m) { _monitor = m; }
+
+    /** Register cache statistics under the component name. */
+    void registerStats(StatRegistry &reg);
+
     void resetStats();
 
   private:
@@ -131,6 +139,7 @@ class SharedCache : public Named
     Counter _hits;
     Counter _misses;
     Counter _writebacks;
+    MonitorSink *_monitor = nullptr;
 };
 
 } // namespace cedar::cluster

@@ -19,7 +19,9 @@
 #include "net/port.hh"
 #include "sim/engine.hh"
 #include "sim/named.hh"
+#include "sim/statreg.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace cedar::cluster {
@@ -98,6 +100,8 @@ class ConcurrencyControlBus : public Named
     concurrentStart(Tick now)
     {
         _starts.inc();
+        DPRINTF(CCB, now, "concurrent start, gang live at ",
+                now + _params.concurrent_start_cycles);
         return now + _params.concurrent_start_cycles;
     }
 
@@ -110,6 +114,8 @@ class ConcurrencyControlBus : public Named
     {
         _dispatches.inc();
         Tick start = _bus.acquire(now, 1);
+        DPRINTF(CCB, now, "iteration grant, held at ",
+                start + _params.dispatch_cycles);
         return start + _params.dispatch_cycles;
     }
 
@@ -124,6 +130,14 @@ class ConcurrencyControlBus : public Named
     const CcBusParams &params() const { return _params; }
     std::uint64_t startCount() const { return _starts.value(); }
     std::uint64_t dispatchCount() const { return _dispatches.value(); }
+
+    /** Register bus statistics under the component name. */
+    void
+    registerStats(StatRegistry &reg)
+    {
+        reg.addCounter(child("starts"), _starts);
+        reg.addCounter(child("dispatches"), _dispatches);
+    }
 
     void
     resetStats()

@@ -92,6 +92,15 @@ class ComputationalElement : public Named
     unsigned port() const { return _port; }
     const CeParams &params() const { return _params; }
 
+    /** Register CE statistics (and its PFU's) under its name. */
+    void
+    registerStats(StatRegistry &reg)
+    {
+        reg.addCounter(child("ops"), _ops);
+        reg.addScalar(child("flops"), [this] { return _flops; });
+        _pfu->registerStats(reg);
+    }
+
     void
     resetStats()
     {

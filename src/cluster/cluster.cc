@@ -52,6 +52,23 @@ Cluster::totalFlops() const
 }
 
 void
+Cluster::attachMonitor(MonitorSink *m)
+{
+    _cache->attachMonitor(m);
+    for (auto &ce : _ces)
+        ce->pfu().attachMonitor(m);
+}
+
+void
+Cluster::registerStats(StatRegistry &reg)
+{
+    _cache->registerStats(reg);
+    _ccb->registerStats(reg);
+    for (auto &ce : _ces)
+        ce->registerStats(reg);
+}
+
+void
 Cluster::resetStats()
 {
     for (auto &ce : _ces)

@@ -69,6 +69,12 @@ class Cluster : public Named, public BarrierProvider
     /** Total flops retired by all CEs of this cluster. */
     double totalFlops() const;
 
+    /** Attach a monitor to the cache and every CE's prefetch unit. */
+    void attachMonitor(MonitorSink *m);
+
+    /** Register the cluster's statistics (cache, bus, CEs). */
+    void registerStats(StatRegistry &reg);
+
     void resetStats();
 
   private:

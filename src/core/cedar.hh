@@ -30,6 +30,7 @@
 #define CEDARSIM_CORE_CEDAR_HH
 
 #include "cluster/cluster.hh"
+#include "core/machine_report.hh"
 #include "core/report.hh"
 #include "kernels/banded.hh"
 #include "kernels/cg.hh"
@@ -49,5 +50,8 @@
 #include "prefetch/pfu.hh"
 #include "runtime/loops.hh"
 #include "sim/engine.hh"
+#include "sim/probes.hh"
+#include "sim/statreg.hh"
+#include "sim/trace.hh"
 
 #endif // CEDARSIM_CORE_CEDAR_HH

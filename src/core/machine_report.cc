@@ -14,63 +14,53 @@ namespace cedar::core {
 MachineSnapshot
 snapshot(machine::CedarMachine &machine)
 {
+    // Everything here reads the machine's StatRegistry; the component
+    // tree is never walked directly.
+    const StatRegistry &reg = machine.stats();
     MachineSnapshot snap;
     snap.elapsed = machine.sim().curTick();
 
-    auto &gm = machine.gm();
-    snap.gm_reads = gm.readCount();
-    snap.gm_writes = gm.writeCount();
-    snap.gm_syncs = gm.syncCount();
-    snap.gm_read_latency_mean = gm.readLatencyStat().mean();
-    snap.gm_read_latency_max = gm.readLatencyStat().max();
+    snap.gm_reads = reg.counterValue("cedar.gm.reads");
+    snap.gm_writes = reg.counterValue("cedar.gm.writes");
+    snap.gm_syncs = reg.counterValue("cedar.gm.syncs");
+    const SampleStat &lat = reg.sampleStat("cedar.gm.read_latency");
+    snap.gm_read_latency_mean = lat.mean();
+    snap.gm_read_latency_max = lat.max();
 
-    double wait_sum = 0.0;
-    std::uint64_t wait_n = 0;
-    for (unsigned m = 0; m < gm.numModules(); ++m) {
-        const auto &mod = gm.module(m);
-        snap.module_conflicts += mod.conflictCount();
-        wait_sum += mod.waitStat().mean() *
-                    static_cast<double>(mod.waitStat().count());
-        wait_n += mod.waitStat().count();
-    }
-    snap.module_wait_mean =
-        wait_n ? wait_sum / static_cast<double>(wait_n) : 0.0;
+    snap.module_conflicts = reg.sumCounters("cedar.gm.mod*.conflicts");
+    snap.module_wait_mean = reg.weightedMean("cedar.gm.mod*.wait");
 
-    snap.fwd_delivered_words = gm.forwardNet().deliveredWords();
-    snap.rev_delivered_words = gm.reverseNet().deliveredWords();
-    snap.fwd_queueing_mean = gm.forwardNet().queueingStat().mean();
-    snap.rev_queueing_mean = gm.reverseNet().queueingStat().mean();
+    snap.fwd_delivered_words = static_cast<std::uint64_t>(
+        reg.scalarValue("cedar.gm.fwd.delivered_words"));
+    snap.rev_delivered_words = static_cast<std::uint64_t>(
+        reg.scalarValue("cedar.gm.rev.delivered_words"));
+    snap.fwd_queueing_mean =
+        reg.sampleStat("cedar.gm.fwd.queueing").mean();
+    snap.rev_queueing_mean =
+        reg.sampleStat("cedar.gm.rev.queueing").mean();
     if (snap.elapsed > 0) {
         double peak_words =
-            static_cast<double>(gm.numModules()) /
+            static_cast<double>(machine.gm().numModules()) /
             machine.config().gm.module_access_cycles *
             static_cast<double>(snap.elapsed);
         snap.gm_bandwidth_utilization =
             static_cast<double>(snap.rev_delivered_words) / peak_words;
     }
 
-    for (unsigned c = 0; c < machine.numClusters(); ++c) {
-        auto &cl = machine.clusterAt(c);
-        snap.cache_hits += cl.cache().hitCount();
-        snap.cache_misses += cl.cache().missCount();
-        snap.cache_writebacks += cl.cache().writebackCount();
-        snap.ccb_starts += cl.ccb().startCount();
-        snap.ccb_dispatches += cl.ccb().dispatchCount();
-    }
+    snap.cache_hits = reg.sumCounters("cedar.cluster*.cache.hits");
+    snap.cache_misses = reg.sumCounters("cedar.cluster*.cache.misses");
+    snap.cache_writebacks =
+        reg.sumCounters("cedar.cluster*.cache.writebacks");
+    snap.ccb_starts = reg.sumCounters("cedar.cluster*.ccb.starts");
+    snap.ccb_dispatches =
+        reg.sumCounters("cedar.cluster*.ccb.dispatches");
 
-    double pfu_lat_sum = 0.0;
-    std::uint64_t pfu_lat_n = 0;
-    for (unsigned i = 0; i < machine.numCes(); ++i) {
-        auto &ce = machine.ceAt(i);
-        snap.total_flops += ce.flops();
-        snap.total_ops += ce.opsCompleted();
-        snap.pfu_requests += ce.pfu().requestsIssued();
-        const auto &lat = ce.pfu().latencyStat();
-        pfu_lat_sum += lat.mean() * static_cast<double>(lat.count());
-        pfu_lat_n += lat.count();
-    }
+    snap.total_flops = reg.sumScalars("cedar.cluster*.ce*.flops");
+    snap.total_ops = reg.sumCounters("cedar.cluster*.ce*.ops");
+    snap.pfu_requests =
+        reg.sumCounters("cedar.cluster*.ce*.pfu.requests");
     snap.pfu_latency_mean =
-        pfu_lat_n ? pfu_lat_sum / static_cast<double>(pfu_lat_n) : 0.0;
+        reg.weightedMean("cedar.cluster*.ce*.pfu.latency");
     return snap;
 }
 

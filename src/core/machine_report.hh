@@ -1,10 +1,10 @@
 /**
  * @file
- * Machine-wide statistics reporting: walks every component of a
- * CedarMachine after a run and renders what the Cedar performance
+ * Machine-wide statistics reporting: reads a CedarMachine's stat
+ * registry after a run and renders what the Cedar performance
  * hardware would have shown — network utilization and queueing, memory
  * module load and conflicts, cache behaviour, prefetch latencies, and
- * per-CE work, with hierarchical component names.
+ * per-CE work, aggregated over hierarchical component names.
  */
 
 #ifndef CEDARSIM_CORE_MACHINE_REPORT_HH

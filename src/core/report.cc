@@ -7,11 +7,50 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "sim/logging.hh"
 
 namespace cedar::core {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
 
 TableWriter::TableWriter(std::vector<std::string> headers,
                          unsigned min_width)
@@ -67,6 +106,104 @@ void
 TableWriter::print() const
 {
     std::fputs(str().c_str(), stdout);
+}
+
+BenchOutput::BenchOutput(const std::string &name, int argc, char **argv)
+    : _name(name)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0)
+            _json_only = true;
+    if (_json_only) {
+        // Park the human-readable output in /dev/null; emit() writes
+        // the JSON line to the saved descriptor and then restores it.
+        std::fflush(stdout);
+        _saved_stdout = ::dup(STDOUT_FILENO);
+        if (_saved_stdout < 0 ||
+            !std::freopen("/dev/null", "w", stdout)) {
+            _json_only = false;
+            if (_saved_stdout >= 0) {
+                ::close(_saved_stdout);
+                _saved_stdout = -1;
+            }
+        }
+    }
+}
+
+BenchOutput::~BenchOutput()
+{
+    if (_saved_stdout >= 0)
+        emit();
+}
+
+void
+BenchOutput::add(const std::string &key, const std::string &raw)
+{
+    if (!_body.empty())
+        _body += ',';
+    _body += '"' + jsonEscape(key) + "\":" + raw;
+}
+
+void
+BenchOutput::metric(const std::string &key, double value)
+{
+    add(key, jsonNumber(value));
+}
+
+void
+BenchOutput::metric(const std::string &key, std::uint64_t value)
+{
+    add(key, std::to_string(value));
+}
+
+void
+BenchOutput::metric(const std::string &key, int value)
+{
+    add(key, std::to_string(value));
+}
+
+void
+BenchOutput::metric(const std::string &key, unsigned value)
+{
+    add(key, std::to_string(value));
+}
+
+void
+BenchOutput::metric(const std::string &key, const std::string &value)
+{
+    add(key, '"' + jsonEscape(value) + '"');
+}
+
+void
+BenchOutput::metric(const std::string &key, const char *value)
+{
+    metric(key, std::string(value));
+}
+
+std::string
+BenchOutput::jsonLine() const
+{
+    std::string line = "{\"bench\":\"" + jsonEscape(_name) + '"';
+    if (!_body.empty())
+        line += ',' + _body;
+    line += '}';
+    return line;
+}
+
+void
+BenchOutput::emit()
+{
+    std::string line = jsonLine();
+    line += '\n';
+    std::fflush(stdout);
+    if (_saved_stdout >= 0) {
+        // Restore the real stdout before printing the JSON line.
+        ::dup2(_saved_stdout, STDOUT_FILENO);
+        ::close(_saved_stdout);
+        _saved_stdout = -1;
+    }
+    std::fputs(line.c_str(), stdout);
+    std::fflush(stdout);
 }
 
 std::string

@@ -10,7 +10,7 @@
 namespace cedar::machine {
 
 CedarMachine::CedarMachine(const CedarConfig &config)
-    : Named("cedar"), _config(config)
+    : Named("cedar"), _config(config), _monitor(child("monitor"))
 {
     if (_config.num_clusters == 0)
         fatal("machine needs at least one cluster");
@@ -25,6 +25,51 @@ CedarMachine::CedarMachine(const CedarConfig &config)
             child("cluster" + std::to_string(c)), _sim, *_gm,
             c * _config.cluster.num_ces, _config.cluster));
     }
+    registerStats();
+}
+
+void
+CedarMachine::registerStats()
+{
+    _gm->registerStats(_stats);
+    for (auto &c : _clusters)
+        c->registerStats(_stats);
+    _monitor.registerStats(_stats);
+
+    std::string rt = child("runtime");
+    _stats.addCounter(rt + ".cdoall_starts", _runtime.cdoall_starts);
+    _stats.addCounter(rt + ".xdoall_starts", _runtime.xdoall_starts);
+    _stats.addCounter(rt + ".sdoall_starts", _runtime.sdoall_starts);
+    _stats.addCounter(rt + ".sdoall_dispatches",
+                      _runtime.sdoall_dispatches);
+    _stats.addCounter(rt + ".iterations", _runtime.iterations);
+
+    _stats.addScalar(child("sim.events"), [this] {
+        return static_cast<double>(_sim.eventsExecuted());
+    });
+    _stats.addScalar(child("sim.ticks"), [this] {
+        return static_cast<double>(_sim.curTick());
+    });
+}
+
+void
+CedarMachine::enableMonitoring()
+{
+    _gm->attachMonitor(&_monitor);
+    for (auto &c : _clusters)
+        c->attachMonitor(&_monitor);
+    _monitor.start();
+    _monitoring = true;
+}
+
+void
+CedarMachine::disableMonitoring()
+{
+    _monitor.stop();
+    _gm->attachMonitor(nullptr);
+    for (auto &c : _clusters)
+        c->attachMonitor(nullptr);
+    _monitoring = false;
 }
 
 Addr
@@ -74,6 +119,7 @@ CedarMachine::resetStats()
     _gm->resetStats();
     for (auto &c : _clusters)
         c->resetStats();
+    _runtime.reset();
 }
 
 } // namespace cedar::machine

@@ -11,10 +11,38 @@
 #include <vector>
 
 #include "machine/config.hh"
+#include "machine/perfmon.hh"
 #include "sim/engine.hh"
 #include "sim/named.hh"
+#include "sim/probes.hh"
+#include "sim/statreg.hh"
 
 namespace cedar::machine {
+
+/**
+ * Software-visible runtime counters (loop starts and iteration
+ * dispatches). They live on the machine rather than on LoopRunner
+ * because several runners may drive one machine over its lifetime,
+ * while the registry entry must stay stable.
+ */
+struct RuntimeStats
+{
+    Counter cdoall_starts;
+    Counter xdoall_starts;
+    Counter sdoall_starts;
+    Counter sdoall_dispatches;
+    Counter iterations;
+
+    void
+    reset()
+    {
+        cdoall_starts.reset();
+        xdoall_starts.reset();
+        sdoall_starts.reset();
+        sdoall_dispatches.reset();
+        iterations.reset();
+    }
+};
 
 /** A complete Cedar system plus its private simulation engine. */
 class CedarMachine : public Named
@@ -72,11 +100,46 @@ class CedarMachine : public Named
 
     void resetStats();
 
+    /** The machine-wide stat registry (populated at construction). */
+    StatRegistry &stats() { return _stats; }
+    const StatRegistry &stats() const { return _stats; }
+
+    /** The performance-monitoring station. */
+    PerfMonitor &monitor() { return _monitor; }
+    const PerfMonitor &monitor() const { return _monitor; }
+
+    RuntimeStats &runtimeStats() { return _runtime; }
+
+    /**
+     * Attach the monitor to every component and arm the tracer.
+     * Until this is called the hot paths pay only a null check.
+     */
+    void enableMonitoring();
+
+    /** Stop the tracer and detach the monitor from every component. */
+    void disableMonitoring();
+
+    bool monitoring() const { return _monitoring; }
+
+    /** Post a machine-level (software) event if monitoring is on. */
+    void
+    postEvent(Tick when, Signal signal, std::int64_t value = 0)
+    {
+        if (_monitoring)
+            _monitor.record(when, signal, value);
+    }
+
   private:
+    void registerStats();
+
     CedarConfig _config;
     Simulation _sim;
     std::unique_ptr<mem::GlobalMemory> _gm;
     std::vector<std::unique_ptr<cluster::Cluster>> _clusters;
+    StatRegistry _stats;
+    PerfMonitor _monitor;
+    RuntimeStats _runtime;
+    bool _monitoring = false;
     Addr _next_global = 0;
     Addr _next_cluster_addr = 0;
 };

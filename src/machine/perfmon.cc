@@ -1,9 +1,13 @@
 /**
  * @file
- * Performance-monitor arithmetic.
+ * Performance-monitor arithmetic, event routing, and trace export.
  */
 
 #include "perfmon.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace cedar::machine {
 
@@ -17,6 +21,140 @@ Histogrammer::mean() const
         total += _counters[i];
     }
     return total > 0.0 ? weighted / total : 0.0;
+}
+
+PerfMonitor::PerfMonitor(const std::string &name, unsigned cascade)
+    : Named(name),
+      _tracer(child("tracer"), cascade),
+      _net_queueing(child("net_queueing")),
+      _module_wait(child("module_wait")),
+      _pfu_latency(child("pfu_latency"))
+{
+}
+
+void
+PerfMonitor::record(Tick when, Signal signal, std::int64_t value)
+{
+    if (!_tracer.running())
+        return;
+    _tracer.post(when, static_cast<std::uint32_t>(signal), value);
+    _signal_counts[static_cast<std::uint32_t>(signal)].inc();
+    // Histogrammers sit on the signals whose value is a duration the
+    // paper's study histogrammed.
+    switch (signal) {
+      case Signal::net_dequeue:
+        _net_queueing.sample(static_cast<std::size_t>(value));
+        break;
+      case Signal::module_service:
+      case Signal::module_conflict:
+        _module_wait.sample(static_cast<std::size_t>(value));
+        break;
+      case Signal::pfu_fill:
+        _pfu_latency.sample(static_cast<std::size_t>(value));
+        break;
+      default:
+        break;
+    }
+}
+
+std::uint64_t
+PerfMonitor::signalCount(Signal s) const
+{
+    return _signal_counts[static_cast<std::uint32_t>(s)].value();
+}
+
+void
+PerfMonitor::registerStats(StatRegistry &reg)
+{
+    reg.addScalar(child("events"), [this] {
+        return static_cast<double>(_tracer.events().size());
+    });
+    reg.addScalar(child("dropped"), [this] {
+        return static_cast<double>(_tracer.droppedCount());
+    });
+    reg.addScalar(child("net_queueing_mean"),
+                  [this] { return _net_queueing.mean(); });
+    reg.addScalar(child("module_wait_mean"),
+                  [this] { return _module_wait.mean(); });
+    reg.addScalar(child("pfu_latency_mean"),
+                  [this] { return _pfu_latency.mean(); });
+    for (std::uint32_t s = 0; s < num_signals; ++s) {
+        reg.addCounter(child(std::string("signal.") +
+                             signalName(static_cast<Signal>(s))),
+                       _signal_counts[s]);
+    }
+}
+
+void
+PerfMonitor::clear()
+{
+    _tracer.clear();
+    _net_queueing.clear();
+    _module_wait.clear();
+    _pfu_latency.clear();
+    for (auto &c : _signal_counts)
+        c.reset();
+}
+
+std::string
+chromeTraceJson(const EventTracer &tracer)
+{
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    auto emit = [&os, &first] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Metadata: name one trace thread per subsystem category, so the
+    // viewer groups cache, net, gm, ... into labeled rows. Categories
+    // are discovered from the signal table to stay in sync with it.
+    std::vector<const char *> categories;
+    auto tidOf = [&categories](const char *cat) {
+        for (std::size_t i = 0; i < categories.size(); ++i) {
+            if (std::string(categories[i]) == cat)
+                return static_cast<int>(i);
+        }
+        categories.push_back(cat);
+        return static_cast<int>(categories.size() - 1);
+    };
+    for (std::uint32_t s = 0; s < num_signals; ++s)
+        tidOf(signalCategory(static_cast<Signal>(s)));
+    for (std::size_t i = 0; i < categories.size(); ++i) {
+        emit();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           << "\"tid\": " << i << ", \"args\": {\"name\": \""
+           << categories[i] << "\"}}";
+    }
+
+    char ts[40];
+    for (const TraceEvent &ev : tracer.events()) {
+        auto sig = static_cast<Signal>(ev.signal);
+        if (ev.signal >= num_signals)
+            continue; // unknown software signal id; skip quietly
+        emit();
+        std::snprintf(ts, sizeof(ts), "%.4f", ticksToMicros(ev.when));
+        os << "{\"name\": \"" << signalName(sig) << "\", \"cat\": \""
+           << signalCategory(sig) << "\", \"ph\": \"i\", \"s\": \"t\", "
+           << "\"ts\": " << ts << ", \"pid\": 0, \"tid\": "
+           << tidOf(signalCategory(sig)) << ", \"args\": {\"value\": "
+           << ev.value << "}}";
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+bool
+writeChromeTrace(const EventTracer &tracer, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << chromeTraceJson(tracer);
+    return static_cast<bool>(out);
 }
 
 } // namespace cedar::machine

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "sim/named.hh"
+#include "sim/probes.hh"
+#include "sim/statreg.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -106,6 +108,15 @@ class Histogrammer : public Named
             ++_counters[bin];
     }
 
+    /** Load a counter directly (hardware preload / test hook). */
+    void
+    preset(std::size_t bin, std::uint32_t value)
+    {
+        sim_assert(bin < _counters.size(), "preset of bin ", bin,
+                   " outside ", _counters.size(), " counters");
+        _counters[bin] = value;
+    }
+
     std::uint32_t counter(std::size_t bin) const
     {
         return _counters.at(bin);
@@ -127,6 +138,61 @@ class Histogrammer : public Named
     std::vector<std::uint32_t> _counters;
     Counter _out_of_range;
 };
+
+/**
+ * The machine's monitoring station: one event tracer that latches
+ * every posted signal, plus histogrammers attached to the quantities
+ * the paper's study histogrammed (network queueing, memory-bank
+ * waits, prefetch latencies). Components reach it through the
+ * MonitorSink interface; nothing is recorded until the tracer is
+ * started.
+ */
+class PerfMonitor : public Named, public MonitorSink
+{
+  public:
+    explicit PerfMonitor(const std::string &name, unsigned cascade = 1);
+
+    /** MonitorSink: route one event to the tracer and histogrammers. */
+    void record(Tick when, Signal signal, std::int64_t value) override;
+
+    /** Begin capturing (the hardware monitors had explicit arming). */
+    void start() { _tracer.start(); }
+    void stop() { _tracer.stopTracer(); }
+    bool running() const { return _tracer.running(); }
+
+    EventTracer &tracer() { return _tracer; }
+    const EventTracer &tracer() const { return _tracer; }
+    Histogrammer &netQueueing() { return _net_queueing; }
+    Histogrammer &moduleWait() { return _module_wait; }
+    Histogrammer &pfuLatency() { return _pfu_latency; }
+
+    /** Events recorded per signal id. */
+    std::uint64_t signalCount(Signal s) const;
+
+    /** Expose monitor health under <name>.* in the registry. */
+    void registerStats(StatRegistry &reg);
+
+    void clear();
+
+  private:
+    EventTracer _tracer;
+    Histogrammer _net_queueing;
+    Histogrammer _module_wait;
+    Histogrammer _pfu_latency;
+    Counter _signal_counts[num_signals];
+};
+
+/**
+ * Render an event trace in the Chrome trace-event format (a JSON
+ * array of {name, cat, ph, ts, pid, tid} instant events, ts in
+ * microseconds of machine time) so a run can be opened in
+ * chrome://tracing or https://ui.perfetto.dev. Signal categories map
+ * to trace threads, with metadata records naming each one.
+ */
+std::string chromeTraceJson(const EventTracer &tracer);
+
+/** Write chromeTraceJson() to @p path. @return false on I/O error. */
+bool writeChromeTrace(const EventTracer &tracer, const std::string &path);
 
 } // namespace cedar::machine
 

@@ -5,6 +5,8 @@
 
 #include "globalmem.hh"
 
+#include "sim/trace.hh"
+
 namespace cedar::mem {
 
 GlobalMemory::GlobalMemory(const std::string &name,
@@ -61,6 +63,8 @@ GlobalMemory::read(unsigned port, Addr addr, Tick issue)
                                   _params.read_response_words, served);
     _reads.inc();
     _read_latency.sample(static_cast<double>(rev.head_arrival - issue));
+    DPRINTF(GM, issue, "read port=", port, " addr=", addr, " mod=", mod,
+            " latency=", rev.head_arrival - issue);
     return GmResult{rev.head_arrival, fwd.queueing + rev.queueing, {}};
 }
 
@@ -76,6 +80,8 @@ GlobalMemory::write(unsigned port, Addr addr, Tick issue)
                                   _params.write_request_words, issue);
     Tick served = _modules[mod]->access(fwd.tail_arrival);
     _writes.inc();
+    DPRINTF(GM, issue, "write port=", port, " addr=", addr, " mod=", mod,
+            " served=", served);
     return served;
 }
 
@@ -95,6 +101,9 @@ GlobalMemory::sync(unsigned port, Addr addr, const SyncOp &op, Tick issue)
                                             globalOffset(addr), op, res);
     auto rev = _reverse->traverse(mod_port, port, 2, served);
     _syncs.inc();
+    DPRINTF(Sync, issue, syncOperateName(op.operate), " port=", port,
+            " addr=", addr, " old=", res.old_value, " success=",
+            res.success);
     return GmResult{rev.head_arrival, fwd.queueing + rev.queueing, res};
 }
 
@@ -120,6 +129,28 @@ GlobalMemory::minReadLatency() const
     return _forward->minLatency() +
            (_params.read_request_words - 1) * _params.word_occupancy +
            _params.module_access_cycles + _reverse->minLatency();
+}
+
+void
+GlobalMemory::attachMonitor(MonitorSink *m)
+{
+    _forward->attachMonitor(m);
+    _reverse->attachMonitor(m);
+    for (auto &mod : _modules)
+        mod->attachMonitor(m);
+}
+
+void
+GlobalMemory::registerStats(StatRegistry &reg)
+{
+    reg.addCounter(child("reads"), _reads);
+    reg.addCounter(child("writes"), _writes);
+    reg.addCounter(child("syncs"), _syncs);
+    reg.addSample(child("read_latency"), _read_latency);
+    _forward->registerStats(reg);
+    _reverse->registerStats(reg);
+    for (auto &mod : _modules)
+        mod->registerStats(reg);
 }
 
 void

@@ -109,6 +109,15 @@ class GlobalMemory : public Named
     /** Distribution of read round-trip latencies seen at the ports. */
     const SampleStat &readLatencyStat() const { return _read_latency; }
 
+    /**
+     * Attach a monitor to the whole memory system: both networks and
+     * every module begin posting events (nullptr detaches all).
+     */
+    void attachMonitor(MonitorSink *m);
+
+    /** Register memory-system statistics (networks and modules too). */
+    void registerStats(StatRegistry &reg);
+
     void resetStats();
 
   private:

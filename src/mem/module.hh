@@ -13,6 +13,8 @@
 
 #include "mem/syncops.hh"
 #include "sim/named.hh"
+#include "sim/probes.hh"
+#include "sim/statreg.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -54,6 +56,13 @@ class MemoryModule : public Named
         _accesses.inc();
         if (conflicted)
             _conflicts.inc();
+        if (_monitor) {
+            auto wait = static_cast<std::int64_t>(start - arrival);
+            _monitor->record(start,
+                             conflicted ? Signal::module_conflict
+                                        : Signal::module_service,
+                             wait);
+        }
         return _bank_free;
     }
 
@@ -80,6 +89,8 @@ class MemoryModule : public Named
         if (conflicted)
             _conflicts.inc();
         result = applySyncOp(_cells[addr], op);
+        if (_monitor)
+            _monitor->record(start, Signal::sync_op, result.old_value);
         return _bank_free;
     }
 
@@ -100,6 +111,19 @@ class MemoryModule : public Named
     const SampleStat &waitStat() const { return _wait; }
     Tick bankFree() const { return _bank_free; }
 
+    /** Post bank-service events to @p m (nullptr detaches). */
+    void attachMonitor(MonitorSink *m) { _monitor = m; }
+
+    /** Register this module's statistics under its component name. */
+    void
+    registerStats(StatRegistry &reg)
+    {
+        reg.addCounter(child("accesses"), _accesses);
+        reg.addCounter(child("sync_ops"), _sync_ops);
+        reg.addCounter(child("conflicts"), _conflicts);
+        reg.addSample(child("wait"), _wait);
+    }
+
     void
     resetStats()
     {
@@ -117,6 +141,7 @@ class MemoryModule : public Named
     Counter _sync_ops;
     Counter _conflicts;
     SampleStat _wait;
+    MonitorSink *_monitor = nullptr;
     std::unordered_map<Addr, std::int32_t> _cells;
 };
 

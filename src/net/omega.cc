@@ -5,6 +5,8 @@
 
 #include "omega.hh"
 
+#include "sim/trace.hh"
+
 namespace cedar::net {
 
 OmegaNetwork::OmegaNetwork(const std::string &name,
@@ -82,7 +84,29 @@ OmegaNetwork::traverse(unsigned in_port, unsigned dest, unsigned words,
         t = start + _hop_latency;
     }
     _queueing.sample(static_cast<double>(queueing));
+    if (_monitor) {
+        _monitor->record(inject, Signal::net_enqueue, words);
+        _monitor->record(t, Signal::net_dequeue,
+                         static_cast<std::int64_t>(queueing));
+    }
+    DPRINTF(Net, inject, "packet ", in_port, "->", dest, " words=",
+            words, " queueing=", queueing, " head_at=", t);
     return TraversalResult{t, t + (words - 1) * _word_occupancy, queueing};
+}
+
+void
+OmegaNetwork::registerStats(StatRegistry &reg)
+{
+    reg.addSample(child("queueing"), _queueing);
+    reg.addScalar(child("delivered_words"), [this] {
+        return static_cast<double>(deliveredWords());
+    });
+    reg.addScalar(child("busy_cycles"), [this] {
+        Tick busy = 0;
+        for (const LinkPort &p : _stages.back())
+            busy += p.busyCycles();
+        return static_cast<double>(busy);
+    });
 }
 
 std::uint64_t

@@ -28,6 +28,8 @@
 
 #include "net/port.hh"
 #include "sim/named.hh"
+#include "sim/probes.hh"
+#include "sim/statreg.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -117,6 +119,12 @@ class OmegaNetwork : public Named
     /** End-to-end queueing distribution across all packets. */
     const SampleStat &queueingStat() const { return _queueing; }
 
+    /** Post port enqueue/dequeue events to @p m (nullptr detaches). */
+    void attachMonitor(MonitorSink *m) { _monitor = m; }
+
+    /** Register this network's statistics under its component name. */
+    void registerStats(StatRegistry &reg);
+
     void resetStats();
 
   private:
@@ -127,6 +135,7 @@ class OmegaNetwork : public Named
     /** _stages[s][p]: output port p of stage s (p in [0, numPorts)). */
     std::vector<std::vector<LinkPort>> _stages;
     SampleStat _queueing;
+    MonitorSink *_monitor = nullptr;
 };
 
 } // namespace cedar::net

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
+
 namespace cedar::prefetch {
 
 PrefetchUnit::PrefetchUnit(const std::string &name, Simulation &sim,
@@ -60,6 +62,10 @@ PrefetchUnit::beginFire(Addr start, unsigned length, unsigned stride,
         if (enabled(i))
             ++_enabled_count;
     skipDisabled();
+    if (_monitor)
+        _monitor->record(when, Signal::pfu_fire, length);
+    DPRINTF(PFU, when, "fire start=", start, " length=", length,
+            " stride=", stride, " enabled=", _enabled_count);
     if (_enabled_count == 0)
         return;
 
@@ -108,6 +114,10 @@ PrefetchUnit::issueNext()
     _request_arrivals.push_back(in_buffer);
     ++_arrived;
     _latency.sample(static_cast<double>(in_buffer - now));
+    if (_monitor) {
+        _monitor->record(in_buffer, Signal::pfu_fill,
+                         static_cast<std::int64_t>(in_buffer - now));
+    }
 
     answerQueries();
     if (_arrived == _enabled_count)
@@ -201,12 +211,25 @@ PrefetchUnit::answerQueries()
             Tick available = _arrivals[i] + _params.drain_cycles;
             t = std::max(t + 1, available);
         }
+        if (_monitor)
+            _monitor->record(t, Signal::pfu_consume, query.count);
+        DPRINTF(PFU, t, "consumed [", query.first, ",",
+                query.first + query.count, ")");
         auto cb = std::move(query.callback);
         _queries.erase(_queries.begin() +
                        static_cast<std::ptrdiff_t>(q));
         Tick fire_at = std::max(t, _sim.curTick());
         _sim.schedule(fire_at, [cb = std::move(cb), t] { cb(t); });
     }
+}
+
+void
+PrefetchUnit::registerStats(StatRegistry &reg)
+{
+    reg.addCounter(child("requests"), _requests);
+    reg.addCounter(child("page_crossings"), _page_crossings);
+    reg.addSample(child("latency"), _latency);
+    reg.addSample(child("interarrival"), _interarrival);
 }
 
 void

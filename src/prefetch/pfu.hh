@@ -23,6 +23,8 @@
 #include "mem/globalmem.hh"
 #include "sim/engine.hh"
 #include "sim/named.hh"
+#include "sim/probes.hh"
+#include "sim/statreg.hh"
 #include "sim/stats.hh"
 
 namespace cedar::prefetch {
@@ -121,6 +123,12 @@ class PrefetchUnit : public Named
 
     const PfuParams &params() const { return _params; }
 
+    /** Post fire/fill/consume events to @p m (nullptr detaches). */
+    void attachMonitor(MonitorSink *m) { _monitor = m; }
+
+    /** Register PFU statistics under the component name. */
+    void registerStats(StatRegistry &reg);
+
     void resetStats();
 
   private:
@@ -162,6 +170,7 @@ class PrefetchUnit : public Named
     SampleStat _interarrival;
     Counter _requests;
     Counter _page_crossings;
+    MonitorSink *_monitor = nullptr;
 };
 
 } // namespace cedar::prefetch

@@ -8,6 +8,7 @@
 
 #include "mem/syncops.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cedar::runtime {
 
@@ -220,6 +221,14 @@ LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
         ctx->streams.push_back(std::move(stream));
     }
 
+    _machine.runtimeStats().cdoall_starts.inc();
+    _machine.runtimeStats().iterations.inc(n_iters);
+    _machine.postEvent(_machine.sim().curTick(), Signal::loop_cdoall,
+                       n_iters);
+    DPRINTFN(Loops, _machine.sim().curTick(), "cedar.runtime",
+             "CDOALL cluster=", cluster_idx, " iters=", n_iters,
+             " ces=", n_ces);
+
     // Gang start over the concurrency control bus.
     Tick start_at = cl.ccb().concurrentStart(_machine.sim().curTick());
     _machine.sim().schedule(start_at, [this, ctx, cluster_idx, n_ces] {
@@ -277,6 +286,14 @@ LoopRunner::xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
         }
     }
 
+    _machine.runtimeStats().xdoall_starts.inc();
+    _machine.runtimeStats().iterations.inc(n_iters);
+    _machine.postEvent(_machine.sim().curTick(), Signal::loop_xdoall,
+                       n_iters);
+    DPRINTFN(Loops, _machine.sim().curTick(), "cedar.runtime",
+             "XDOALL iters=", n_iters, " ces=", ces.size(), " sched=",
+             sched == Schedule::self_scheduled ? "self" : "static");
+
     // XDOALL processors get started through global memory: the gang is
     // live one startup latency after launch.
     Tick start_at = _machine.sim().curTick() + _params.xdoall_startup;
@@ -322,6 +339,11 @@ LoopRunner::sdoallAsync(std::vector<unsigned> clusters, unsigned n_iters,
             return;
         }
         unsigned iter = ctx->next++;
+        _machine.runtimeStats().sdoall_dispatches.inc();
+        _machine.postEvent(_machine.sim().curTick(),
+                           Signal::loop_dispatch, iter);
+        DPRINTFN(Loops, _machine.sim().curTick(), "cedar.runtime",
+                 "SDOALL iteration ", iter, " -> cluster ", cluster_idx);
         SdoallIteration work = ctx->body(iter, cluster_idx);
         // Iteration dispatch goes through global memory, like XDOALL
         // fetches but for a whole cluster.
@@ -352,6 +374,13 @@ LoopRunner::sdoallAsync(std::vector<unsigned> clusters, unsigned n_iters,
             _machine.sim().schedule(start, run_inner);
         }
     };
+
+    _machine.runtimeStats().sdoall_starts.inc();
+    _machine.runtimeStats().iterations.inc(n_iters);
+    _machine.postEvent(_machine.sim().curTick(), Signal::loop_sdoall,
+                       n_iters);
+    DPRINTFN(Loops, _machine.sim().curTick(), "cedar.runtime",
+             "SDOALL iters=", n_iters, " clusters=", clusters.size());
 
     Tick start_at = _machine.sim().curTick() + _params.sdoall_startup;
     for (unsigned c : clusters) {

@@ -5,6 +5,8 @@
 
 #include "engine.hh"
 
+#include "trace.hh"
+
 namespace cedar {
 
 Tick
@@ -31,6 +33,8 @@ Simulation::runUntil(Tick limit)
         _queue.pop();
         _now = ev.when;
         ++_events_executed;
+        DPRINTFN(Engine, _now, "sim", "event #", _events_executed,
+                 " fires");
         if (_event_limit && _events_executed > _event_limit) {
             panic("event limit of ", _event_limit,
                   " exceeded at tick ", _now,

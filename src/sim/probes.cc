@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Signal name and category tables.
+ */
+
+#include "probes.hh"
+
+#include "sim/logging.hh"
+
+namespace cedar {
+
+namespace {
+
+struct SignalInfo
+{
+    const char *name;
+    const char *category;
+};
+
+constexpr SignalInfo signal_info[num_signals] = {
+    {"cache_miss", "cache"},      {"cache_fill", "cache"},
+    {"cache_writeback", "cache"}, {"net_enqueue", "net"},
+    {"net_dequeue", "net"},       {"module_service", "gm"},
+    {"module_conflict", "gm"},    {"sync_op", "sync"},
+    {"pfu_fire", "pfu"},          {"pfu_fill", "pfu"},
+    {"pfu_consume", "pfu"},       {"loop_cdoall", "loops"},
+    {"loop_xdoall", "loops"},     {"loop_sdoall", "loops"},
+    {"loop_dispatch", "loops"},   {"user", "sw"},
+};
+
+const SignalInfo &
+info(Signal s)
+{
+    auto idx = static_cast<std::uint32_t>(s);
+    sim_assert(idx < num_signals, "unknown signal id ", idx);
+    return signal_info[idx];
+}
+
+} // namespace
+
+const char *
+signalName(Signal s)
+{
+    return info(s).name;
+}
+
+const char *
+signalCategory(Signal s)
+{
+    return info(s).category;
+}
+
+} // namespace cedar

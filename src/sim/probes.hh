@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Monitor probe points: the signals the Cedar performance hardware
+ * could latch, and the sink interface components post them through.
+ *
+ * The real machine attached event tracers and histogrammers to the
+ * networks, the global memory, and the CEs. In the simulator every
+ * instrumented component holds an optional MonitorSink pointer; when a
+ * monitor is attached (CedarMachine::enableMonitoring()) the hot paths
+ * post time-stamped (signal, value) pairs to it, and when none is
+ * attached the cost is a single null-pointer test.
+ */
+
+#ifndef CEDARSIM_SIM_PROBES_HH
+#define CEDARSIM_SIM_PROBES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cedar {
+
+/** Hardware signals the monitors can latch, one id per probe point. */
+enum class Signal : std::uint32_t
+{
+    // Cluster shared cache.
+    cache_miss,      ///< miss lines in a streaming access (value: lines)
+    cache_fill,      ///< line fill burst from cluster memory (value: words)
+    cache_writeback, ///< dirty-victim writeback (value: words)
+    // Omega networks.
+    net_enqueue, ///< packet head enters the network (value: words)
+    net_dequeue, ///< packet head leaves the network (value: queue cycles)
+    // Global memory modules.
+    module_service,  ///< bank serves a request (value: wait cycles)
+    module_conflict, ///< request found the bank busy (value: wait cycles)
+    sync_op,         ///< Test-And-Operate executed (value: old cell value)
+    // Prefetch units.
+    pfu_fire,    ///< PFU armed and fired (value: vector length)
+    pfu_fill,    ///< word lands in the buffer (value: latency cycles)
+    pfu_consume, ///< in-order consumption completes (value: span words)
+    // Loop runtime.
+    loop_cdoall,   ///< CDOALL gang start (value: iteration count)
+    loop_xdoall,   ///< XDOALL launch (value: iteration count)
+    loop_sdoall,   ///< SDOALL launch (value: iteration count)
+    loop_dispatch, ///< one SDOALL iteration dispatched (value: iter)
+    // Software.
+    user, ///< program-posted event (Cedar supported software events)
+
+    num_signals,
+};
+
+constexpr std::uint32_t num_signals =
+    static_cast<std::uint32_t>(Signal::num_signals);
+
+/** Stable lowercase name of a signal ("cache_miss", ...). */
+const char *signalName(Signal s);
+
+/** Subsystem category of a signal ("cache", "net", "gm", ...). */
+const char *signalCategory(Signal s);
+
+/**
+ * Destination for monitored events. Implemented by the machine-level
+ * PerfMonitor; components never know what is listening.
+ */
+class MonitorSink
+{
+  public:
+    virtual ~MonitorSink() = default;
+
+    /** Record one monitored event. */
+    virtual void record(Tick when, Signal signal, std::int64_t value) = 0;
+};
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_PROBES_HH

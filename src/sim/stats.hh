@@ -123,6 +123,7 @@ class Histogram
     }
 
     std::size_t numBuckets() const { return _buckets.size(); }
+    double bucketWidth() const { return _width; }
     std::uint64_t bucket(std::size_t i) const { return _buckets.at(i); }
     std::uint64_t overflow() const { return _overflow; }
     std::uint64_t underflow() const { return _underflow; }

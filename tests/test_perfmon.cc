@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Observability tests: the EventTracer and Histogrammer hardware
+ * models (capacity, drop, cascade, saturation), the StatRegistry
+ * (registration, glob aggregation, JSON dump), the debug-trace flag
+ * machinery, and the Chrome trace-event exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+
+#include "core/machine_report.hh"
+#include "machine/cedar.hh"
+#include "machine/perfmon.hh"
+#include "runtime/loops.hh"
+#include "sim/statreg.hh"
+#include "sim/trace.hh"
+
+using namespace cedar;
+using namespace cedar::machine;
+
+// --- EventTracer hardware semantics ---------------------------------
+
+TEST(EventTracer, HoldsOneMillionEventsThenDrops)
+{
+    EventTracer tracer("t");
+    EXPECT_EQ(tracer.capacity(), 1u << 20);
+    tracer.start();
+    for (std::size_t i = 0; i < tracer.capacity() + 100; ++i)
+        tracer.post(Tick(i), 0, 0);
+    EXPECT_EQ(tracer.events().size(), tracer.capacity());
+    EXPECT_EQ(tracer.droppedCount(), 100u);
+}
+
+TEST(EventTracer, CascadeDoublesCapacity)
+{
+    EventTracer tracer("t", 2);
+    EXPECT_EQ(tracer.capacity(), 2u << 20);
+}
+
+TEST(EventTracer, RecordsNothingUntilStarted)
+{
+    EventTracer tracer("t");
+    tracer.post(1, 0, 0);
+    EXPECT_TRUE(tracer.events().empty());
+    tracer.start();
+    tracer.post(2, 3, 42);
+    tracer.stopTracer();
+    tracer.post(3, 0, 0);
+    ASSERT_EQ(tracer.events().size(), 1u);
+    EXPECT_EQ(tracer.events()[0].when, 2u);
+    EXPECT_EQ(tracer.events()[0].signal, 3u);
+    EXPECT_EQ(tracer.events()[0].value, 42);
+}
+
+TEST(EventTracer, ClearResetsEventsAndDropCount)
+{
+    EventTracer tracer("t");
+    tracer.start();
+    tracer.post(1, 0, 0);
+    tracer.clear();
+    EXPECT_TRUE(tracer.events().empty());
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+}
+
+// --- Histogrammer hardware semantics --------------------------------
+
+TEST(Histogrammer, SaturatesAt32Bits)
+{
+    Histogrammer h("h");
+    h.preset(7, ~std::uint32_t(0) - 1);
+    h.sample(7);
+    EXPECT_EQ(h.counter(7), ~std::uint32_t(0));
+    h.sample(7); // saturated: must not wrap
+    EXPECT_EQ(h.counter(7), ~std::uint32_t(0));
+}
+
+TEST(Histogrammer, CountsOutOfRangeSamples)
+{
+    Histogrammer h("h");
+    EXPECT_EQ(h.numCounters(), 1u << 16);
+    h.sample(h.numCounters());
+    h.sample(h.numCounters() + 5);
+    EXPECT_EQ(h.outOfRangeCount(), 2u);
+}
+
+TEST(Histogrammer, MeanIsBinWeighted)
+{
+    Histogrammer h("h");
+    h.sample(2);
+    h.sample(2);
+    h.sample(8);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 + 2.0 + 8.0) / 3.0);
+}
+
+// --- glob matching --------------------------------------------------
+
+TEST(GlobMatch, LiteralAndStar)
+{
+    EXPECT_TRUE(globMatch("cedar.gm.reads", "cedar.gm.reads"));
+    EXPECT_FALSE(globMatch("cedar.gm.reads", "cedar.gm.writes"));
+    EXPECT_TRUE(globMatch("cedar.gm.mod*.wait", "cedar.gm.mod31.wait"));
+    EXPECT_TRUE(globMatch("cedar.cluster*.ce*.ops",
+                          "cedar.cluster3.ce7.ops"));
+    EXPECT_FALSE(globMatch("cedar.gm.mod*.wait", "cedar.gm.mod31.busy"));
+    EXPECT_TRUE(globMatch("*", "anything.at.all"));
+}
+
+// --- StatRegistry ---------------------------------------------------
+
+TEST(StatRegistry, RegistersAndAggregates)
+{
+    StatRegistry reg;
+    Counter a, b;
+    SampleStat s;
+    a.inc(3);
+    b.inc(5);
+    s.sample(10.0);
+    s.sample(20.0);
+    reg.addCounter("top.x.count", a);
+    reg.addCounter("top.y.count", b);
+    reg.addSample("top.x.lat", s);
+    reg.addScalar("top.derived", [] { return 2.5; });
+
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_EQ(reg.counterValue("top.x.count"), 3u);
+    EXPECT_EQ(reg.sumCounters("top.*.count"), 8u);
+    EXPECT_DOUBLE_EQ(reg.scalarValue("top.derived"), 2.5);
+    EXPECT_DOUBLE_EQ(reg.weightedMean("top.*.lat"), 15.0);
+
+    auto snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("top.x.count"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.at("top.x.lat.mean"), 15.0);
+
+    reg.resetAll();
+    EXPECT_EQ(reg.counterValue("top.x.count"), 0u);
+}
+
+TEST(StatRegistry, DumpJsonNestsDottedNames)
+{
+    StatRegistry reg;
+    Counter c;
+    c.inc(7);
+    reg.addCounter("a.b.c", c);
+    reg.addScalar("a.b.d", [] { return 1.5; });
+    std::string json = reg.dumpJson();
+    EXPECT_NE(json.find("\"a\""), std::string::npos);
+    EXPECT_NE(json.find("\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"c\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"d\": 1.5"), std::string::npos);
+}
+
+// --- debug tracing --------------------------------------------------
+
+TEST(Trace, FlagsEnableAndDisable)
+{
+    trace::disableAll();
+    EXPECT_FALSE(trace::enabled(trace::Flag::Cache));
+    trace::enable(trace::Flag::Cache);
+    EXPECT_TRUE(trace::enabled(trace::Flag::Cache));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Net));
+    trace::disable(trace::Flag::Cache);
+    EXPECT_FALSE(trace::enabled(trace::Flag::Cache));
+}
+
+TEST(Trace, EnableByNameAndOutputFormat)
+{
+    trace::disableAll();
+    EXPECT_TRUE(trace::enableByName("GM"));
+    EXPECT_FALSE(trace::enableByName("NoSuchFlag"));
+    std::ostringstream os;
+    trace::setOutput(&os);
+    trace::print(42, "cedar.gm", "hello");
+    trace::setOutput(nullptr);
+    trace::disableAll();
+    EXPECT_EQ(os.str(), "42: cedar.gm: hello\n");
+}
+
+TEST(Trace, MachineTracesCacheActivityWhenEnabled)
+{
+    setLogQuiet(true);
+    trace::disableAll();
+    trace::enable(trace::Flag::GM);
+    std::ostringstream os;
+    trace::setOutput(&os);
+    machine::CedarMachine machine;
+    machine.gm().read(0, mem::globalAddr(0), 0);
+    trace::setOutput(nullptr);
+    trace::disableAll();
+    EXPECT_NE(os.str().find("cedar.gm: read port=0"), std::string::npos);
+}
+
+// --- the monitor wired into a real run ------------------------------
+
+namespace {
+
+/** Run a small CDOALL that touches global memory on every CE. */
+void
+runMonitoredLoop(machine::CedarMachine &machine)
+{
+    runtime::LoopRunner loops(machine);
+    Addr base = machine.allocGlobal(4096);
+    loops.cdoall(0, 64,
+                 [base](unsigned iter, unsigned,
+                        std::deque<cluster::Op> &out) {
+                     // Prefetched global stream + a cluster-memory
+                     // vector: touches PFU, networks, modules, cache.
+                     out.push_back(cluster::Op::makePrefetch(
+                         base + (iter % 128) * 32, 32));
+                     out.push_back(
+                         cluster::Op::makeVectorFromPrefetch(32, 0, 2.0));
+                     out.push_back(cluster::Op::makeVector(
+                         32, cluster::VecSource::cluster_mem, 1.0,
+                         Addr(iter) * 64));
+                 });
+}
+
+} // namespace
+
+TEST(PerfMonitor, CapturesEventsAcrossSubsystems)
+{
+    setLogQuiet(true);
+    machine::CedarMachine machine;
+    machine.enableMonitoring();
+    runMonitoredLoop(machine);
+    machine.disableMonitoring();
+
+    const auto &mon = machine.monitor();
+    EXPECT_GT(mon.tracer().events().size(), 0u);
+    EXPECT_GT(mon.signalCount(Signal::net_enqueue), 0u);
+    EXPECT_GT(mon.signalCount(Signal::net_dequeue), 0u);
+    EXPECT_GT(mon.signalCount(Signal::module_service), 0u);
+    EXPECT_GT(mon.signalCount(Signal::pfu_fire), 0u);
+    EXPECT_GT(mon.signalCount(Signal::pfu_fill), 0u);
+    EXPECT_GT(mon.signalCount(Signal::cache_miss), 0u);
+    EXPECT_GT(mon.signalCount(Signal::loop_cdoall), 0u);
+}
+
+TEST(PerfMonitor, DetachedMonitorRecordsNothing)
+{
+    setLogQuiet(true);
+    machine::CedarMachine machine;
+    runMonitoredLoop(machine);
+    EXPECT_EQ(machine.monitor().tracer().events().size(), 0u);
+}
+
+TEST(MachineStats, DumpJsonCoversEverySubsystem)
+{
+    setLogQuiet(true);
+    machine::CedarMachine machine;
+    runMonitoredLoop(machine);
+    std::string json = machine.stats().dumpJson();
+    // Hierarchical entries from cache, network, global memory, PFU,
+    // and runtime subsystems must all appear.
+    EXPECT_NE(json.find("\"cache\""), std::string::npos);
+    EXPECT_NE(json.find("\"fwd\""), std::string::npos);
+    EXPECT_NE(json.find("\"gm\""), std::string::npos);
+    EXPECT_NE(json.find("\"pfu\""), std::string::npos);
+    EXPECT_NE(json.find("\"runtime\""), std::string::npos);
+    EXPECT_NE(json.find("\"mod0\""), std::string::npos);
+    // And the registry must agree with the machine's own counters.
+    EXPECT_EQ(machine.stats().counterValue("cedar.gm.reads"),
+              machine.gm().readCount());
+    EXPECT_GT(machine.stats().counterValue(
+                  "cedar.runtime.cdoall_starts"),
+              0u);
+}
+
+// --- Chrome trace export --------------------------------------------
+
+TEST(ChromeTrace, EmitsValidEventArray)
+{
+    setLogQuiet(true);
+    machine::CedarMachine machine;
+    machine.enableMonitoring();
+    runMonitoredLoop(machine);
+    machine.disableMonitoring();
+
+    std::string json = chromeTraceJson(machine.monitor().tracer());
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '[');
+    while (!json.empty() && std::isspace(json.back()))
+        json.pop_back();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.back(), ']');
+    // Metadata records name the category threads...
+    EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    // ...and instant events carry name/ph/ts/pid/tid.
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": "), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": "), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"pfu_fire\""), std::string::npos);
+}
