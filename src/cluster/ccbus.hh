@@ -56,6 +56,19 @@ class CcBarrier
     void
     arrive(Tick now, std::function<void(Tick)> resume)
     {
+        if (Watchdog *wd = _sim.watchdog()) {
+            // A blocked arrival is a liveness hazard: if the gang loses
+            // a participant the queue drains with this wait pending and
+            // the watchdog reports exactly who was stuck.
+            unsigned token = wd->beginWait(
+                "CCB barrier: " + std::to_string(_waiters.size() + 1) +
+                "/" + std::to_string(_participants) +
+                " arrived, waiting for the rest");
+            resume = [wd, token, r = std::move(resume)](Tick t) {
+                wd->endWait(token);
+                r(t);
+            };
+        }
         _waiters.push_back(std::move(resume));
         _latest = std::max(_latest, now);
         if (_waiters.size() == _participants) {
@@ -64,8 +77,11 @@ class CcBarrier
             _waiters.clear();
             _latest = 0;
             for (auto &w : waiters) {
-                _sim.schedule(release,
-                              [w = std::move(w), release] { w(release); });
+                _sim.schedule(release, [this, w = std::move(w), release] {
+                    // A barrier release is forward progress.
+                    _sim.noteProgress();
+                    w(release);
+                });
             }
         }
     }

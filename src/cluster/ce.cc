@@ -108,6 +108,8 @@ ComputationalElement::advance()
             if (!_stream->next(_op)) {
                 _stream = nullptr;
                 _last_done = _sim.curTick();
+                // A stream running to completion is forward progress.
+                _sim.noteProgress();
                 if (_on_done) {
                     auto done = std::move(_on_done);
                     _on_done = nullptr;

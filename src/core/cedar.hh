@@ -50,8 +50,11 @@
 #include "prefetch/pfu.hh"
 #include "runtime/loops.hh"
 #include "sim/engine.hh"
+#include "sim/error.hh"
+#include "sim/fault.hh"
 #include "sim/probes.hh"
 #include "sim/statreg.hh"
 #include "sim/trace.hh"
+#include "sim/watchdog.hh"
 
 #endif // CEDARSIM_CORE_CEDAR_HH

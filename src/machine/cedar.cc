@@ -5,19 +5,17 @@
 
 #include "cedar.hh"
 
+#include <sstream>
+
 #include "mem/address.hh"
 
 namespace cedar::machine {
 
 CedarMachine::CedarMachine(const CedarConfig &config)
-    : Named("cedar"), _config(config), _monitor(child("monitor"))
+    : Named("cedar"), _config(config), _monitor(child("monitor")),
+      _watchdog(child("watchdog"), config.watchdog)
 {
-    if (_config.num_clusters == 0)
-        fatal("machine needs at least one cluster");
-    if (_config.gm.num_ports != _config.numCes()) {
-        fatal("global network has ", _config.gm.num_ports,
-              " ports but the machine has ", _config.numCes(), " CEs");
-    }
+    _config.validate();
     _gm = std::make_unique<mem::GlobalMemory>(child("gm"), _config.gm);
     _clusters.reserve(_config.num_clusters);
     for (unsigned c = 0; c < _config.num_clusters; ++c) {
@@ -25,7 +23,59 @@ CedarMachine::CedarMachine(const CedarConfig &config)
             child("cluster" + std::to_string(c)), _sim, *_gm,
             c * _config.cluster.num_ces, _config.cluster));
     }
+    _watchdog.setDiagnostics([this] { return diagnosticBundle(); });
+    _sim.attachWatchdog(&_watchdog);
     registerStats();
+}
+
+void
+CedarMachine::injectFaults(const FaultSpec &spec)
+{
+    sim_assert(!_faults, "fault injection is already armed");
+    if (spec.failed_module >= 0 &&
+        static_cast<unsigned>(spec.failed_module) >=
+            _config.gm.num_modules) {
+        throw SimError(SimError::Kind::config, name(), _sim.curTick(),
+                       "failed_module " +
+                           std::to_string(spec.failed_module) +
+                           " out of range [0, " +
+                           std::to_string(_config.gm.num_modules) + ")");
+    }
+    _faults = std::make_unique<FaultInjector>(child("faults"), spec);
+    _gm->attachFaults(_faults.get());
+    if (spec.failed_module >= 0)
+        _gm->failModule(static_cast<unsigned>(spec.failed_module));
+    _faults->registerStats(_stats);
+}
+
+std::string
+CedarMachine::diagnosticBundle() const
+{
+    std::ostringstream os;
+    os << "machine: " << _config.num_clusters << " clusters x "
+       << _config.cluster.num_ces << " CEs, "
+       << _config.gm.num_modules << " memory modules";
+    if (_gm->failedModule() >= 0)
+        os << " (module " << _gm->failedModule() << " on spare)";
+    os << "\n";
+    os << "tick: " << _sim.curTick() << ", events: "
+       << _sim.eventsExecuted() << "\n";
+    os << "runtime: iterations=" << _runtime.iterations.value()
+       << " sync_retries=" << _runtime.sync_retries.value()
+       << " lock_retries=" << _runtime.lock_retries.value()
+       << " dropped_ces=" << _runtime.dropped_ces.value() << "\n";
+    if (_faults) {
+        os << "injected: net=" << _faults->netCorruptions()
+           << " mem1=" << _faults->memSingleBits()
+           << " mem2=" << _faults->memDoubleBits()
+           << " sync=" << _faults->syncTimeouts()
+           << " ce=" << _faults->ceDropouts() << "\n";
+    }
+    auto waits = _watchdog.waitDescriptions();
+    os << "in-flight waits: " << waits.size();
+    for (const auto &w : waits)
+        os << "\n  - " << w;
+    return os.str();
 }
 
 void
@@ -43,6 +93,10 @@ CedarMachine::registerStats()
     _stats.addCounter(rt + ".sdoall_dispatches",
                       _runtime.sdoall_dispatches);
     _stats.addCounter(rt + ".iterations", _runtime.iterations);
+    _stats.addCounter(rt + ".sync_retries", _runtime.sync_retries);
+    _stats.addCounter(rt + ".lock_retries", _runtime.lock_retries);
+    _stats.addCounter(rt + ".dropped_ces", _runtime.dropped_ces);
+    _watchdog.registerStats(_stats);
 
     _stats.addScalar(child("sim.events"), [this] {
         return static_cast<double>(_sim.eventsExecuted());

@@ -13,9 +13,11 @@
 #include "machine/config.hh"
 #include "machine/perfmon.hh"
 #include "sim/engine.hh"
+#include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/probes.hh"
 #include "sim/statreg.hh"
+#include "sim/watchdog.hh"
 
 namespace cedar::machine {
 
@@ -32,6 +34,13 @@ struct RuntimeStats
     Counter sdoall_starts;
     Counter sdoall_dispatches;
     Counter iterations;
+    /** Synchronization instructions reissued after a processor
+     *  timeout (lock acquires additionally wait out a backoff). */
+    Counter sync_retries;
+    /** Lock acquisitions that found the lock held and backed off. */
+    Counter lock_retries;
+    /** CEs that dropped out of a self-scheduled loop mid-run. */
+    Counter dropped_ces;
 
     void
     reset()
@@ -41,6 +50,9 @@ struct RuntimeStats
         sdoall_starts.reset();
         sdoall_dispatches.reset();
         iterations.reset();
+        sync_retries.reset();
+        lock_retries.reset();
+        dropped_ces.reset();
     }
 };
 
@@ -108,6 +120,27 @@ class CedarMachine : public Named
     PerfMonitor &monitor() { return _monitor; }
     const PerfMonitor &monitor() const { return _monitor; }
 
+    /** The liveness watchdog (always attached to the engine). */
+    Watchdog &watchdog() { return _watchdog; }
+
+    /**
+     * Arm fault injection for the rest of this machine's life: the
+     * networks, memory modules, and sync processors start rolling
+     * fault decisions from @p spec's seed, and spec.failed_module (if
+     * any) is remapped to the spare immediately. May be called once.
+     */
+    void injectFaults(const FaultSpec &spec);
+
+    /** The fault injector, or nullptr when no faults were injected. */
+    FaultInjector *faults() { return _faults.get(); }
+
+    /**
+     * Diagnostic bundle for error reports: machine shape, runtime
+     * counters, injected-fault totals, and the watchdog's in-flight
+     * wait listing.
+     */
+    std::string diagnosticBundle() const;
+
     RuntimeStats &runtimeStats() { return _runtime; }
 
     /**
@@ -138,6 +171,8 @@ class CedarMachine : public Named
     std::vector<std::unique_ptr<cluster::Cluster>> _clusters;
     StatRegistry _stats;
     PerfMonitor _monitor;
+    Watchdog _watchdog;
+    std::unique_ptr<FaultInjector> _faults;
     RuntimeStats _runtime;
     bool _monitoring = false;
     Addr _next_global = 0;

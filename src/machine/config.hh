@@ -10,8 +10,12 @@
 #ifndef CEDARSIM_MACHINE_CONFIG_HH
 #define CEDARSIM_MACHINE_CONFIG_HH
 
+#include <string>
+
 #include "cluster/cluster.hh"
 #include "mem/globalmem.hh"
+#include "sim/error.hh"
+#include "sim/watchdog.hh"
 
 namespace cedar::machine {
 
@@ -24,12 +28,64 @@ struct CedarConfig
     cluster::ClusterParams cluster{};
     /** Global memory + network structure. */
     mem::GlobalMemoryParams gm{};
+    /** Liveness watchdog (deadlock/livelock detection). */
+    WatchdogParams watchdog{};
 
     /** Total CEs. */
     unsigned
     numCes() const
     {
         return num_clusters * cluster.num_ces;
+    }
+
+    /**
+     * Reject structurally impossible machines before any component is
+     * built, with a SimError of kind `config` naming the offending
+     * parameter. CedarMachine calls this at construction.
+     */
+    void
+    validate() const
+    {
+        auto reject = [](const std::string &msg) {
+            throw SimError(SimError::Kind::config, "cedar.config",
+                           currentErrorTick(), msg);
+        };
+        if (num_clusters == 0)
+            reject("machine needs at least one cluster");
+        if (cluster.num_ces == 0)
+            reject("cluster needs at least one CE");
+        if (gm.num_modules == 0)
+            reject("global memory needs at least one module");
+        if ((gm.num_modules & (gm.num_modules - 1)) != 0) {
+            reject("module count must be a power of two for "
+                   "double-word interleaving, got " +
+                   std::to_string(gm.num_modules));
+        }
+        unsigned ports = 1;
+        for (unsigned r : gm.stage_radices) {
+            if (r < 2) {
+                reject("network stage radix must be at least 2, got " +
+                       std::to_string(r));
+            }
+            ports *= r;
+        }
+        if (ports != gm.num_ports) {
+            reject("stage radices cover " + std::to_string(ports) +
+                   " ports but num_ports is " +
+                   std::to_string(gm.num_ports));
+        }
+        if (gm.num_ports != numCes()) {
+            reject("global network has " + std::to_string(gm.num_ports) +
+                   " ports but the machine has " +
+                   std::to_string(numCes()) + " CEs");
+        }
+        if (gm.num_modules > gm.num_ports) {
+            reject("module count " + std::to_string(gm.num_modules) +
+                   " must be in [1, num_ports=" +
+                   std::to_string(gm.num_ports) + "]");
+        }
+        if (cluster.pfu.buffer_words == 0)
+            reject("prefetch buffer must hold at least one word");
     }
 
     /** The machine as built at CSRD: 4 x Alliant FX/8, 32 CEs. */

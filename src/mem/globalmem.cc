@@ -27,10 +27,10 @@ GlobalMemory::GlobalMemory(const std::string &name,
     }
     _forward = std::make_unique<net::OmegaNetwork>(
         child("fwd"), _params.stage_radices, _params.hop_latency,
-        _params.word_occupancy);
+        _params.word_occupancy, _params.port_queue_words);
     _reverse = std::make_unique<net::OmegaNetwork>(
         child("rev"), _params.stage_radices, _params.hop_latency,
-        _params.word_occupancy);
+        _params.word_occupancy, _params.port_queue_words);
     _modules.reserve(_params.num_modules);
     for (unsigned m = 0; m < _params.num_modules; ++m) {
         _modules.push_back(std::make_unique<MemoryModule>(
@@ -38,6 +38,25 @@ GlobalMemory::GlobalMemory(const std::string &name,
             _params.module_access_cycles, _params.sync_extra_cycles,
             _params.module_conflict_extra));
     }
+    _spare = std::make_unique<MemoryModule>(
+        child("spare"), _params.module_access_cycles,
+        _params.sync_extra_cycles, _params.module_conflict_extra);
+}
+
+void
+GlobalMemory::failModule(unsigned m)
+{
+    sim_assert(m < _params.num_modules, "failModule: module ", m,
+               " out of range [0, ", _params.num_modules, ")");
+    sim_assert(_failed_module < 0,
+               "only one module failure is supported (module ",
+               _failed_module, " already remapped to the spare)");
+    // ECC rebuild: the spare takes over the failed module's address
+    // slice with its functional contents reconstructed.
+    for (const auto &[addr, value] : _modules[m]->cells())
+        _spare->poke(addr, value);
+    _failed_module = static_cast<int>(m);
+    inform("memory module ", m, " failed; remapped to spare module");
 }
 
 unsigned
@@ -58,7 +77,7 @@ GlobalMemory::read(unsigned port, Addr addr, Tick issue)
 
     auto fwd = _forward->traverse(port, mod_port,
                                   _params.read_request_words, issue);
-    Tick served = _modules[mod]->access(fwd.tail_arrival);
+    Tick served = serving(mod).access(fwd.tail_arrival);
     auto rev = _reverse->traverse(mod_port, port,
                                   _params.read_response_words, served);
     _reads.inc();
@@ -78,7 +97,7 @@ GlobalMemory::write(unsigned port, Addr addr, Tick issue)
 
     auto fwd = _forward->traverse(port, mod_port,
                                   _params.write_request_words, issue);
-    Tick served = _modules[mod]->access(fwd.tail_arrival);
+    Tick served = serving(mod).access(fwd.tail_arrival);
     _writes.inc();
     DPRINTF(GM, issue, "write port=", port, " addr=", addr, " mod=", mod,
             " served=", served);
@@ -97,13 +116,17 @@ GlobalMemory::sync(unsigned port, Addr addr, const SyncOp &op, Tick issue)
     // address: two words forward, two back (old value + status).
     auto fwd = _forward->traverse(port, mod_port, 2, issue);
     SyncResult res;
-    Tick served = _modules[mod]->syncAccess(fwd.tail_arrival,
-                                            globalOffset(addr), op, res);
+    // A timed-out sync still occupies the bank and processor, but the
+    // operation is not performed; the requester sees timed_out and
+    // must reissue (the runtime lock path retries with backoff).
+    bool perform = !(_faults && _faults->syncTimeout());
+    Tick served = serving(mod).syncAccess(
+        fwd.tail_arrival, globalOffset(addr), op, res, perform);
     auto rev = _reverse->traverse(mod_port, port, 2, served);
     _syncs.inc();
     DPRINTF(Sync, issue, syncOperateName(op.operate), " port=", port,
             " addr=", addr, " old=", res.old_value, " success=",
-            res.success);
+            res.success, " timed_out=", res.timed_out);
     return GmResult{rev.head_arrival, fwd.queueing + rev.queueing, res};
 }
 
@@ -112,7 +135,7 @@ GlobalMemory::pokeCell(Addr addr, std::int32_t value)
 {
     sim_assert(isGlobal(addr), "pokeCell of non-global address ", addr);
     unsigned mod = moduleOf(addr, _params.num_modules);
-    _modules[mod]->poke(globalOffset(addr), value);
+    serving(mod).poke(globalOffset(addr), value);
 }
 
 std::int32_t
@@ -120,7 +143,7 @@ GlobalMemory::peekCell(Addr addr) const
 {
     sim_assert(isGlobal(addr), "peekCell of non-global address ", addr);
     unsigned mod = moduleOf(addr, _params.num_modules);
-    return _modules[mod]->peek(globalOffset(addr));
+    return serving(mod).peek(globalOffset(addr));
 }
 
 Cycles
@@ -138,6 +161,18 @@ GlobalMemory::attachMonitor(MonitorSink *m)
     _reverse->attachMonitor(m);
     for (auto &mod : _modules)
         mod->attachMonitor(m);
+    _spare->attachMonitor(m);
+}
+
+void
+GlobalMemory::attachFaults(FaultInjector *f)
+{
+    _faults = f;
+    _forward->attachFaults(f);
+    _reverse->attachFaults(f);
+    for (auto &mod : _modules)
+        mod->attachFaults(f);
+    _spare->attachFaults(f);
 }
 
 void
@@ -151,6 +186,7 @@ GlobalMemory::registerStats(StatRegistry &reg)
     _reverse->registerStats(reg);
     for (auto &mod : _modules)
         mod->registerStats(reg);
+    _spare->registerStats(reg);
 }
 
 void
@@ -160,6 +196,7 @@ GlobalMemory::resetStats()
     _reverse->resetStats();
     for (auto &m : _modules)
         m->resetStats();
+    _spare->resetStats();
     _reads.reset();
     _writes.reset();
     _syncs.reset();

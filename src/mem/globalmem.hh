@@ -17,6 +17,7 @@
 #include "mem/module.hh"
 #include "mem/syncops.hh"
 #include "net/omega.hh"
+#include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/stats.hh"
 
@@ -48,6 +49,9 @@ struct GlobalMemoryParams
     unsigned read_response_words = 1;
     /** Words in a write packet (routing word + data). */
     unsigned write_request_words = 2;
+    /** Per-port network queue capacity in words (Cedar's switches
+     *  buffer two words; 0 = unbounded). */
+    unsigned port_queue_words = 2;
 };
 
 /** Timed outcome of a global memory operation. */
@@ -94,12 +98,24 @@ class GlobalMemory : public Named
     /** Uncontended round-trip latency for a read (network + module). */
     Cycles minReadLatency() const;
 
+    /**
+     * Take memory module @p m out of service: its functional contents
+     * are ECC-rebuilt onto the always-present spare module, and all
+     * subsequent traffic for @p m is served by the spare (degraded
+     * mode, not an error). Only one module may fail per run.
+     */
+    void failModule(unsigned m);
+
+    /** Index of the failed module, or -1 when all are healthy. */
+    int failedModule() const { return _failed_module; }
+
     unsigned numPorts() const { return _params.num_ports; }
     unsigned numModules() const { return _params.num_modules; }
 
     const net::OmegaNetwork &forwardNet() const { return *_forward; }
     const net::OmegaNetwork &reverseNet() const { return *_reverse; }
     const MemoryModule &module(unsigned m) const { return *_modules.at(m); }
+    const MemoryModule &spareModule() const { return *_spare; }
 
     /** Total reads served (for bandwidth accounting). */
     std::uint64_t readCount() const { return _reads.value(); }
@@ -115,6 +131,14 @@ class GlobalMemory : public Named
      */
     void attachMonitor(MonitorSink *m);
 
+    /**
+     * Attach a fault injector to the whole memory system: both
+     * networks start rolling for packet corruption and every module
+     * (including the spare) for ECC events; sync requests may time
+     * out. nullptr detaches all.
+     */
+    void attachFaults(FaultInjector *f);
+
     /** Register memory-system statistics (networks and modules too). */
     void registerStats(StatRegistry &reg);
 
@@ -123,10 +147,29 @@ class GlobalMemory : public Named
   private:
     unsigned networkPortOfModule(unsigned module) const;
 
+    /** Module that actually serves traffic for logical module @p m. */
+    MemoryModule &
+    serving(unsigned m)
+    {
+        return static_cast<int>(m) == _failed_module ? *_spare
+                                                     : *_modules[m];
+    }
+
+    const MemoryModule &
+    serving(unsigned m) const
+    {
+        return static_cast<int>(m) == _failed_module ? *_spare
+                                                     : *_modules[m];
+    }
+
     GlobalMemoryParams _params;
     std::unique_ptr<net::OmegaNetwork> _forward;
     std::unique_ptr<net::OmegaNetwork> _reverse;
     std::vector<std::unique_ptr<MemoryModule>> _modules;
+    /** Hot spare that takes over a failed module's address slice. */
+    std::unique_ptr<MemoryModule> _spare;
+    int _failed_module = -1;
+    FaultInjector *_faults = nullptr;
     Counter _reads;
     Counter _writes;
     Counter _syncs;

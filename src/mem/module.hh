@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "mem/syncops.hh"
+#include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/probes.hh"
 #include "sim/statreg.hh"
@@ -41,6 +42,11 @@ class MemoryModule : public Named
     {
     }
 
+    /** Extra bank busy time to scrub a corrected single-bit error. */
+    static constexpr Cycles ecc_correct_cycles = 1;
+    /** Extra turnaround before a detected double-bit error's re-read. */
+    static constexpr Cycles ecc_retry_cycles = 2;
+
     /**
      * Serve an ordinary read or write that arrives at @p arrival.
      * @return tick at which the data (or ack) leaves the module
@@ -51,8 +57,9 @@ class MemoryModule : public Named
         Tick start = std::max(arrival, _bank_free);
         bool conflicted = start > arrival;
         _wait.sample(static_cast<double>(start - arrival));
-        _bank_free =
-            start + _access_cycles + (conflicted ? _conflict_extra : 0);
+        _bank_free = start + _access_cycles +
+                     (conflicted ? _conflict_extra : 0) +
+                     eccPenalty();
         _accesses.inc();
         if (conflicted)
             _conflicts.inc();
@@ -74,21 +81,30 @@ class MemoryModule : public Named
      * @param addr    target word
      * @param op      the Test-And-Operate instruction
      * @param[out] result functional outcome
+     * @param perform false models a synchronization-processor timeout:
+     *                the bank and processor are occupied as usual but
+     *                the operation is NOT applied and @p result says so
      * @return tick at which the response leaves the module
      */
     Tick
     syncAccess(Tick arrival, Addr addr, const SyncOp &op,
-               SyncResult &result)
+               SyncResult &result, bool perform = true)
     {
         Tick start = std::max(arrival, _bank_free);
         bool conflicted = start > arrival;
         _wait.sample(static_cast<double>(start - arrival));
         _bank_free = start + _access_cycles + _sync_cycles +
-                     (conflicted ? _conflict_extra : 0);
+                     (conflicted ? _conflict_extra : 0) +
+                     eccPenalty();
         _sync_ops.inc();
         if (conflicted)
             _conflicts.inc();
-        result = applySyncOp(_cells[addr], op);
+        if (perform) {
+            result = applySyncOp(_cells[addr], op);
+        } else {
+            result = SyncResult{};
+            result.timed_out = true;
+        }
         if (_monitor)
             _monitor->record(start, Signal::sync_op, result.old_value);
         return _bank_free;
@@ -105,14 +121,26 @@ class MemoryModule : public Named
     /** Direct functional poke (initialization). */
     void poke(Addr addr, std::int32_t value) { _cells[addr] = value; }
 
+    /** All functional cells, for ECC-rebuilding onto a spare module. */
+    const std::unordered_map<Addr, std::int32_t> &cells() const
+    {
+        return _cells;
+    }
+
     std::uint64_t accessCount() const { return _accesses.value(); }
     std::uint64_t syncOpCount() const { return _sync_ops.value(); }
     std::uint64_t conflictCount() const { return _conflicts.value(); }
+    std::uint64_t eccCorrected() const { return _ecc_corrected.value(); }
+    std::uint64_t eccRetried() const { return _ecc_retried.value(); }
     const SampleStat &waitStat() const { return _wait; }
     Tick bankFree() const { return _bank_free; }
 
     /** Post bank-service events to @p m (nullptr detaches). */
     void attachMonitor(MonitorSink *m) { _monitor = m; }
+
+    /** Attach a fault injector: accesses start rolling for ECC events
+     *  (nullptr detaches). */
+    void attachFaults(FaultInjector *f) { _faults = f; }
 
     /** Register this module's statistics under its component name. */
     void
@@ -121,6 +149,8 @@ class MemoryModule : public Named
         reg.addCounter(child("accesses"), _accesses);
         reg.addCounter(child("sync_ops"), _sync_ops);
         reg.addCounter(child("conflicts"), _conflicts);
+        reg.addCounter(child("ecc_corrected"), _ecc_corrected);
+        reg.addCounter(child("ecc_retried"), _ecc_retried);
         reg.addSample(child("wait"), _wait);
     }
 
@@ -129,10 +159,34 @@ class MemoryModule : public Named
     {
         _accesses.reset();
         _sync_ops.reset();
+        _ecc_corrected.reset();
+        _ecc_retried.reset();
         _wait.reset();
     }
 
   private:
+    /**
+     * Roll the ECC outcome for one bank access: single-bit errors are
+     * corrected in place for a scrub penalty; double-bit errors are
+     * detected and the whole bank access is repeated.
+     */
+    Cycles
+    eccPenalty()
+    {
+        if (!_faults)
+            return 0;
+        switch (_faults->memEccEvent()) {
+          case 1:
+            _ecc_corrected.inc();
+            return ecc_correct_cycles;
+          case 2:
+            _ecc_retried.inc();
+            return ecc_retry_cycles + _access_cycles;
+          default:
+            return 0;
+        }
+    }
+
     Cycles _access_cycles;
     Cycles _sync_cycles;
     Cycles _conflict_extra;
@@ -140,8 +194,11 @@ class MemoryModule : public Named
     Counter _accesses;
     Counter _sync_ops;
     Counter _conflicts;
+    Counter _ecc_corrected;
+    Counter _ecc_retried;
     SampleStat _wait;
     MonitorSink *_monitor = nullptr;
+    FaultInjector *_faults = nullptr;
     std::unordered_map<Addr, std::int32_t> _cells;
 };
 

@@ -77,8 +77,12 @@ struct SyncOp
 /** Outcome of executing a SyncOp on a cell. */
 struct SyncResult
 {
-    std::int32_t old_value; ///< cell contents before the operation
-    bool success;           ///< whether the test passed (op performed)
+    std::int32_t old_value = 0; ///< cell contents before the operation
+    bool success = false; ///< whether the test passed (op performed)
+    /** The synchronization processor timed out: the operation was NOT
+     *  performed (cell untouched, old_value meaningless) and the
+     *  requester must retry. */
+    bool timed_out = false;
 };
 
 /**

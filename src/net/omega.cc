@@ -5,13 +5,22 @@
 
 #include "omega.hh"
 
+#include "sim/error.hh"
 #include "sim/trace.hh"
 
 namespace cedar::net {
 
+namespace {
+
+/** Cycles the receiver needs to check ECC and request a retransmit. */
+constexpr Cycles ecc_check_cycles = 2;
+
+} // namespace
+
 OmegaNetwork::OmegaNetwork(const std::string &name,
                            std::vector<unsigned> stage_radices,
-                           Cycles hop_latency, Cycles word_occupancy)
+                           Cycles hop_latency, Cycles word_occupancy,
+                           unsigned port_queue_words)
     : Named(name),
       _radices(std::move(stage_radices)),
       _hop_latency(hop_latency),
@@ -26,7 +35,8 @@ OmegaNetwork::OmegaNetwork(const std::string &name,
     _num_ports = ports;
     _stages.reserve(_radices.size());
     for (std::size_t s = 0; s < _radices.size(); ++s) {
-        _stages.emplace_back(_num_ports, LinkPort(_word_occupancy));
+        _stages.emplace_back(_num_ports,
+                             LinkPort(_word_occupancy, port_queue_words));
     }
 }
 
@@ -70,28 +80,70 @@ OmegaNetwork::path(unsigned in_port, unsigned dest) const
 }
 
 TraversalResult
+OmegaNetwork::traverseOnce(unsigned in_port, unsigned dest,
+                           unsigned words, Tick inject)
+{
+    Tick t = inject;
+    Cycles queueing = 0;
+    for (auto [stage, idx] : path(in_port, dest)) {
+        LinkPort &port = _stages[stage][idx];
+        // Flow control: a bounded downstream queue holds the head
+        // upstream until it has room. Entry can be delayed at most to
+        // the port's busy horizon, so the start tick — and therefore
+        // end-to-end timing — is unchanged; only where the wait is
+        // spent (and who observes it) moves.
+        Tick entry = std::max(t, port.entryFree());
+        if (entry > t)
+            _backpressure.inc();
+        Tick start = port.acquire(entry, words);
+        queueing += start - t;
+        t = start + _hop_latency;
+    }
+    return TraversalResult{t, t + (words - 1) * _word_occupancy, queueing};
+}
+
+TraversalResult
 OmegaNetwork::traverse(unsigned in_port, unsigned dest, unsigned words,
                        Tick inject)
 {
     sim_assert(words >= 1 && words <= 4,
                "Cedar packets are one to four words, got ", words);
-    Tick t = inject;
-    Cycles queueing = 0;
-    for (auto [stage, idx] : path(in_port, dest)) {
-        LinkPort &port = _stages[stage][idx];
-        Tick start = port.acquire(t, words);
-        queueing += start - t;
-        t = start + _hop_latency;
+    TraversalResult res = traverseOnce(in_port, dest, words, inject);
+    Cycles queueing = res.queueing;
+    if (_faults) {
+        // Each attempt rolls for in-flight corruption; the receiver's
+        // ECC check detects it after the tail lands and the source
+        // retransmits, re-reserving every port on the path (real extra
+        // traffic, visible in contention stats).
+        unsigned attempts = 0;
+        while (_faults->corruptPacket()) {
+            if (++attempts > _faults->spec().net_retry_limit) {
+                throw SimError(
+                    SimError::Kind::fault, name(), inject,
+                    "packet " + std::to_string(in_port) + "->" +
+                        std::to_string(dest) + " exceeded " +
+                        std::to_string(_faults->spec().net_retry_limit) +
+                        " retransmissions (unrecoverable corruption)");
+            }
+            _retransmits.inc();
+            Tick retry = res.tail_arrival + ecc_check_cycles;
+            res = traverseOnce(in_port, dest, words, retry);
+            // The whole replay (ECC check + full re-transit) is delay
+            // caused by the fault: charge it as queueing so degradation
+            // shows where Cedar's hardware monitor would have seen it.
+            queueing += ecc_check_cycles + (res.head_arrival - retry);
+        }
+        res.queueing = queueing;
     }
     _queueing.sample(static_cast<double>(queueing));
     if (_monitor) {
         _monitor->record(inject, Signal::net_enqueue, words);
-        _monitor->record(t, Signal::net_dequeue,
+        _monitor->record(res.head_arrival, Signal::net_dequeue,
                          static_cast<std::int64_t>(queueing));
     }
     DPRINTF(Net, inject, "packet ", in_port, "->", dest, " words=",
-            words, " queueing=", queueing, " head_at=", t);
-    return TraversalResult{t, t + (words - 1) * _word_occupancy, queueing};
+            words, " queueing=", queueing, " head_at=", res.head_arrival);
+    return res;
 }
 
 void
@@ -107,6 +159,8 @@ OmegaNetwork::registerStats(StatRegistry &reg)
             busy += p.busyCycles();
         return static_cast<double>(busy);
     });
+    reg.addCounter(child("retransmits"), _retransmits);
+    reg.addCounter(child("backpressure_stalls"), _backpressure);
 }
 
 std::uint64_t
@@ -125,6 +179,8 @@ OmegaNetwork::resetStats()
         for (auto &p : stage)
             p.resetStats();
     _queueing.reset();
+    _retransmits.reset();
+    _backpressure.reset();
 }
 
 } // namespace cedar::net

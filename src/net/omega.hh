@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/port.hh"
+#include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/probes.hh"
 #include "sim/statreg.hh"
@@ -54,14 +55,17 @@ class OmegaNetwork : public Named
 {
   public:
     /**
-     * @param name            hierarchical component name
-     * @param stage_radices   switch radix per stage; product = port count
-     * @param hop_latency     cycles for a packet head to cross one stage
-     * @param word_occupancy  cycles one word occupies an output port
+     * @param name             hierarchical component name
+     * @param stage_radices    switch radix per stage; product = port count
+     * @param hop_latency      cycles for a packet head to cross one stage
+     * @param word_occupancy   cycles one word occupies an output port
+     * @param port_queue_words per-port queue capacity in words (the
+     *                         Cedar switches buffer two words; 0 =
+     *                         unbounded, for tests only)
      */
     OmegaNetwork(const std::string &name,
                  std::vector<unsigned> stage_radices, Cycles hop_latency,
-                 Cycles word_occupancy);
+                 Cycles word_occupancy, unsigned port_queue_words = 2);
 
     /** Number of input (= output) ports. */
     unsigned numPorts() const { return _num_ports; }
@@ -119,8 +123,24 @@ class OmegaNetwork : public Named
     /** End-to-end queueing distribution across all packets. */
     const SampleStat &queueingStat() const { return _queueing; }
 
+    /** Packets retransmitted after in-flight corruption was detected. */
+    std::uint64_t retransmits() const { return _retransmits.value(); }
+
+    /** Hops where a full downstream port queue held the head upstream. */
+    std::uint64_t backpressureStalls() const
+    {
+        return _backpressure.value();
+    }
+
     /** Post port enqueue/dequeue events to @p m (nullptr detaches). */
     void attachMonitor(MonitorSink *m) { _monitor = m; }
+
+    /**
+     * Attach a fault injector (nullptr detaches): every traversal
+     * rolls for in-flight corruption; corrupted packets are detected
+     * at the receiver (ECC check) and retransmitted from the source.
+     */
+    void attachFaults(FaultInjector *f) { _faults = f; }
 
     /** Register this network's statistics under its component name. */
     void registerStats(StatRegistry &reg);
@@ -128,6 +148,9 @@ class OmegaNetwork : public Named
     void resetStats();
 
   private:
+    TraversalResult traverseOnce(unsigned in_port, unsigned dest,
+                                 unsigned words, Tick inject);
+
     unsigned _num_ports;
     std::vector<unsigned> _radices;
     Cycles _hop_latency;
@@ -135,7 +158,10 @@ class OmegaNetwork : public Named
     /** _stages[s][p]: output port p of stage s (p in [0, numPorts)). */
     std::vector<std::vector<LinkPort>> _stages;
     SampleStat _queueing;
+    Counter _retransmits;
+    Counter _backpressure;
     MonitorSink *_monitor = nullptr;
+    FaultInjector *_faults = nullptr;
 };
 
 } // namespace cedar::net

@@ -22,13 +22,26 @@ namespace cedar::net {
 class LinkPort
 {
   public:
-    explicit LinkPort(Cycles occupancy_per_word = 1)
-        : _occupancy(occupancy_per_word)
+    /**
+     * @param occupancy_per_word cycles one word occupies the port
+     * @param queue_capacity_words words of backlog the port queue can
+     *        buffer ahead of a new arrival (0 = unbounded; the Cedar
+     *        crossbar switches have two-word queues)
+     */
+    explicit LinkPort(Cycles occupancy_per_word = 1,
+                      unsigned queue_capacity_words = 0)
+        : _occupancy(occupancy_per_word),
+          _queue_capacity(queue_capacity_words)
     {
     }
 
     /**
      * Reserve the port for a packet.
+     *
+     * On a capacity-bounded port the caller must respect flow control:
+     * handing the port a packet while its queue already holds a full
+     * backlog is rejected (the hardware has nowhere to put the words),
+     * not silently buffered. Stall upstream until entryFree() instead.
      *
      * @param ready tick at which the packet head is ready to transmit
      * @param words packet length in 64-bit words
@@ -38,6 +51,11 @@ class LinkPort
     acquire(Tick ready, unsigned words)
     {
         sim_assert(words > 0, "packet must contain at least one word");
+        sim_assert(ready >= entryFree(),
+                   "port queue over its ", _queue_capacity,
+                   "-word capacity: backlog ", _next_free - ready,
+                   " cycles at ready=", ready,
+                   "; wait for entryFree() before acquiring");
         Tick start = std::max(ready, _next_free);
         _wait.sample(static_cast<double>(start - ready));
         _busy_cycles += words * _occupancy;
@@ -46,6 +64,24 @@ class LinkPort
         _next_free = start + words * _occupancy;
         return start;
     }
+
+    /**
+     * Earliest tick at which a new packet head may be handed to this
+     * port without exceeding the queue capacity (0 when unbounded or
+     * the queue has room now). Backpressure: until then the packet
+     * must be held upstream.
+     */
+    Tick
+    entryFree() const
+    {
+        if (_queue_capacity == 0)
+            return 0;
+        Tick cap_cycles = Tick(_queue_capacity) * _occupancy;
+        return _next_free > cap_cycles ? _next_free - cap_cycles : 0;
+    }
+
+    /** Words of queue the port may buffer ahead of an arrival. */
+    unsigned queueCapacityWords() const { return _queue_capacity; }
 
     /** Tick at which the port next becomes idle. */
     Tick nextFree() const { return _next_free; }
@@ -86,6 +122,7 @@ class LinkPort
 
   private:
     Cycles _occupancy;
+    unsigned _queue_capacity;
     Tick _next_free = 0;
     Tick _busy_cycles = 0;
     Counter _words;

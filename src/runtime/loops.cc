@@ -6,7 +6,10 @@
 
 #include "loops.hh"
 
+#include <algorithm>
+
 #include "mem/syncops.hh"
+#include "sim/error.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -15,10 +18,28 @@ namespace cedar::runtime {
 namespace {
 
 /**
+ * Bounded exponential backoff: the @p attempt'th consecutive failure
+ * (0-based) waits base << attempt cycles, capped at @p max.
+ */
+Cycles
+backoffCycles(const RuntimeParams &params, unsigned attempt)
+{
+    unsigned shift = std::min(attempt, 16u);
+    return std::min<Cycles>(params.lock_backoff << shift,
+                            params.lock_backoff_max);
+}
+
+/**
  * Per-CE stream of a self-scheduled XDOALL. Iterations are fetched
  * from a counter cell in global memory, either with one Cedar
  * Fetch-And-Add or with a Test-And-Set lock protocol (four global
  * round trips) when Cedar synchronization is disabled.
+ *
+ * Degraded-mode behavior: a synchronization-processor timeout reissues
+ * the same instruction after a bounded exponential backoff (the op was
+ * not performed, so reissue is safe); a CE drop-out at an iteration
+ * fetch ends this stream early and the shared counter hands the
+ * remaining iterations to the survivors.
  */
 class XdoallStream : public OpStream
 {
@@ -28,11 +49,15 @@ class XdoallStream : public OpStream
         Addr counter;
         Addr lock;
         unsigned n_iters;
+        /** CEs still in the gang (drop-out never takes the last). */
+        unsigned alive;
     };
 
-    XdoallStream(Shared *shared, unsigned global_ce,
-                 const IterationBody *body, const RuntimeParams *params)
-        : _shared(shared), _ce(global_ce), _body(body), _params(params)
+    XdoallStream(machine::CedarMachine *machine, Shared *shared,
+                 unsigned global_ce, const IterationBody *body,
+                 const RuntimeParams *params)
+        : _machine(machine), _shared(shared), _ce(global_ce),
+          _body(body), _params(params)
     {
     }
 
@@ -46,6 +71,8 @@ class XdoallStream : public OpStream
         }
         switch (_phase) {
           case Phase::fetch:
+            if (maybeDropOut())
+                return false;
             if (_params->use_cedar_sync) {
                 op = Op::makeScalar(_params->xdoall_fetch_software);
                 _queue.push_back(Op::makeSync(
@@ -68,18 +95,40 @@ class XdoallStream : public OpStream
     void
     syncResult(const mem::SyncResult &res) override
     {
+        if (res.timed_out) {
+            // The sync processor gave up before performing the op, so
+            // reissuing it cannot double-apply. Back off and retry.
+            retryAfterTimeout();
+            return;
+        }
+        _timeouts = 0;
         switch (_phase) {
           case Phase::await_fetch:
             takeIteration(static_cast<unsigned>(res.old_value));
             return;
           case Phase::await_lock:
             if (!res.success) {
-                // Lock held: back off and retry.
-                _queue.push_back(Op::makeScalar(_params->lock_backoff));
+                // Lock held: back off exponentially and retry, up to
+                // the budget (a dead lock holder must not hang us).
+                if (++_lock_attempts > _params->lock_retry_limit) {
+                    throw SimError(
+                        SimError::Kind::retry_exhausted,
+                        "cedar.runtime",
+                        _machine->sim().curTick(),
+                        "CE " + std::to_string(_ce) + " failed " +
+                            std::to_string(_lock_attempts - 1) +
+                            " consecutive Test-And-Set attempts on the "
+                            "iteration lock",
+                        _machine->diagnosticBundle());
+                }
+                _machine->runtimeStats().lock_retries.inc();
+                _queue.push_back(Op::makeScalar(
+                    backoffCycles(*_params, _lock_attempts - 1)));
                 _queue.push_back(Op::makeSync(_shared->lock,
                                               mem::SyncOp::testAndSet()));
                 return;
             }
+            _lock_attempts = 0;
             _queue.push_back(Op::makeSync(
                 _shared->counter,
                 mem::SyncOp{mem::SyncTest::always, 0,
@@ -122,6 +171,71 @@ class XdoallStream : public OpStream
         finished,
     };
 
+    /** Roll for drop-out at an iteration fetch (degraded mode). */
+    bool
+    maybeDropOut()
+    {
+        FaultInjector *f = _machine->faults();
+        if (!f || _shared->alive <= 1 || !f->ceDropout())
+            return false;
+        --_shared->alive;
+        _machine->runtimeStats().dropped_ces.inc();
+        _phase = Phase::finished;
+        return true;
+    }
+
+    /** Reissue the instruction the sync processor timed out on. */
+    void
+    retryAfterTimeout()
+    {
+        if (++_timeouts > _params->sync_retry_limit) {
+            throw SimError(
+                SimError::Kind::retry_exhausted, "cedar.runtime",
+                _machine->sim().curTick(),
+                "CE " + std::to_string(_ce) + " saw " +
+                    std::to_string(_timeouts - 1) +
+                    " consecutive sync-processor timeouts",
+                _machine->diagnosticBundle());
+        }
+        _machine->runtimeStats().sync_retries.inc();
+        _queue.push_back(
+            Op::makeScalar(backoffCycles(*_params, _timeouts - 1)));
+        _queue.push_back(pendingSyncOp());
+        // Phase is unchanged: the reissued op's result lands here again.
+    }
+
+    /** The sync op outstanding in the current await phase. */
+    Op
+    pendingSyncOp() const
+    {
+        switch (_phase) {
+          case Phase::await_fetch:
+            return Op::makeSync(_shared->counter,
+                                mem::SyncOp::fetchAndAdd(1));
+          case Phase::await_lock:
+            return Op::makeSync(_shared->lock,
+                                mem::SyncOp::testAndSet());
+          case Phase::await_read:
+            return Op::makeSync(
+                _shared->counter,
+                mem::SyncOp{mem::SyncTest::always, 0,
+                            mem::SyncOperate::read, 0});
+          case Phase::await_write:
+            return Op::makeSync(
+                _shared->counter,
+                mem::SyncOp{mem::SyncTest::always, 0,
+                            mem::SyncOperate::write,
+                            static_cast<std::int32_t>(_pending_iter + 1)});
+          case Phase::await_unlock:
+            return Op::makeSync(
+                _shared->lock,
+                mem::SyncOp{mem::SyncTest::always, 0,
+                            mem::SyncOperate::write, 0});
+          default:
+            panic("sync timeout outside an await phase");
+        }
+    }
+
     void
     takeIteration(unsigned iter)
     {
@@ -129,11 +243,13 @@ class XdoallStream : public OpStream
             _queue.push_back(Op::makeScalar(_params->body_call_overhead));
             (*_body)(iter, _ce, _queue);
             _phase = Phase::fetch;
+            _machine->sim().noteProgress();
         } else {
             _phase = Phase::finished;
         }
     }
 
+    machine::CedarMachine *_machine;
     Shared *_shared;
     unsigned _ce;
     const IterationBody *_body;
@@ -141,6 +257,8 @@ class XdoallStream : public OpStream
     std::deque<Op> _queue;
     Phase _phase = Phase::fetch;
     unsigned _pending_iter = 0;
+    unsigned _lock_attempts = 0;
+    unsigned _timeouts = 0;
 };
 
 } // namespace
@@ -156,6 +274,9 @@ struct LoopRunner::LoopContext
     // CDOALL self-scheduling state (bus-serialized, so a plain counter).
     unsigned next_iter = 0;
     unsigned n_iters = 0;
+    // CEs still taking iterations (fault injection can shrink this;
+    // drop-out never takes the last one).
+    unsigned alive = 0;
     bool join_emitted = false;
 
     void
@@ -192,6 +313,7 @@ LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
     ctx->remaining = n_ces;
     ctx->done = std::move(done);
     ctx->n_iters = n_iters;
+    ctx->alive = n_ces;
 
     unsigned barrier_id = cl.newBarrier(n_ces);
     Cycles dispatch =
@@ -204,16 +326,31 @@ LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
         LoopContext *raw = ctx.get();
         auto stream = std::make_unique<GeneratorStream>(
             [raw, global_ce, dispatch, body_call, barrier_id,
-             joined = false](std::deque<Op> &out) mutable {
-                if (raw->next_iter < raw->n_iters) {
-                    unsigned iter = raw->next_iter++;
-                    out.push_back(Op::makeScalar(dispatch + body_call));
-                    raw->body(iter, global_ce, out);
-                    return true;
+             m = &_machine, joined = false,
+             dropped = false](std::deque<Op> &out) mutable {
+                if (!dropped && raw->next_iter < raw->n_iters) {
+                    FaultInjector *f = m->faults();
+                    if (f && raw->alive > 1 && f->ceDropout()) {
+                        // This CE leaves the gang; the shared counter
+                        // hands its iterations to the survivors.
+                        dropped = true;
+                        --raw->alive;
+                        m->runtimeStats().dropped_ces.inc();
+                    } else {
+                        unsigned iter = raw->next_iter++;
+                        out.push_back(
+                            Op::makeScalar(dispatch + body_call));
+                        raw->body(iter, global_ce, out);
+                        m->sim().noteProgress();
+                        return true;
+                    }
                 }
                 if (joined)
                     return false;
-                // Exhausted: join at the concurrency-bus barrier once.
+                // Exhausted (or dropped out): join at the
+                // concurrency-bus barrier once. A dead CE still
+                // reports — the CCB signals its drop-out — so the
+                // survivors' join is never left short.
                 joined = true;
                 out.push_back(Op::makeBarrier(barrier_id));
                 return true;
@@ -254,15 +391,20 @@ LoopRunner::xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
 
     if (sched == Schedule::self_scheduled) {
         Addr cells = _machine.allocGlobal(2);
-        ctx->xdoall_shared =
-            XdoallStream::Shared{cells, cells + 1, n_iters};
+        ctx->xdoall_shared = XdoallStream::Shared{
+            cells, cells + 1, n_iters,
+            static_cast<unsigned>(ces.size())};
         _machine.gm().pokeCell(cells, 0);
         _machine.gm().pokeCell(cells + 1, 0);
         for (unsigned ce : ces) {
             ctx->streams.push_back(std::make_unique<XdoallStream>(
-                &ctx->xdoall_shared, ce, &ctx->body, &ctx->params));
+                &_machine, &ctx->xdoall_shared, ce, &ctx->body,
+                &ctx->params));
         }
     } else {
+        // Static chunking pre-assigns the iteration space, so there is
+        // no redistribution mechanism: CE drop-out is a self-scheduling
+        // feature and is not rolled here.
         // Static chunking: iteration space pre-split into equal pieces.
         unsigned p = static_cast<unsigned>(ces.size());
         for (unsigned idx = 0; idx < p; ++idx) {
@@ -340,6 +482,7 @@ LoopRunner::sdoallAsync(std::vector<unsigned> clusters, unsigned n_iters,
         }
         unsigned iter = ctx->next++;
         _machine.runtimeStats().sdoall_dispatches.inc();
+        _machine.sim().noteProgress();
         _machine.postEvent(_machine.sim().curTick(),
                            Signal::loop_dispatch, iter);
         DPRINTFN(Loops, _machine.sim().curTick(), "cedar.runtime",

@@ -43,8 +43,17 @@ struct RuntimeParams
     /** Use the Cedar Test-And-Operate instructions for self-scheduling;
      *  when false, a Test-And-Set lock protocol is used instead. */
     bool use_cedar_sync = true;
-    /** Spin backoff between lock attempts in the no-sync protocol. */
+    /** Initial spin backoff between lock attempts in the no-sync
+     *  protocol; doubles on every consecutive failure. */
     Cycles lock_backoff = 12;
+    /** Ceiling of the exponential lock backoff. */
+    Cycles lock_backoff_max = 2000;
+    /** Consecutive failed lock attempts tolerated before the runtime
+     *  declares the lock dead (SimError of kind `retry_exhausted`). */
+    unsigned lock_retry_limit = 256;
+    /** Consecutive synchronization-processor timeouts tolerated on one
+     *  operation before giving up (SimError of kind `retry_exhausted`). */
+    unsigned sync_retry_limit = 16;
 };
 
 } // namespace cedar::runtime

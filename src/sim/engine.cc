@@ -5,6 +5,7 @@
 
 #include "engine.hh"
 
+#include "error.hh"
 #include "trace.hh"
 
 namespace cedar {
@@ -19,6 +20,8 @@ Tick
 Simulation::runUntil(Tick limit)
 {
     _stop_requested = false;
+    if (_watchdog)
+        _watchdog->onRunStart(_now);
     while (!_queue.empty() && !_stop_requested) {
         const QueuedEvent &top = _queue.top();
         if (top.when > limit) {
@@ -32,6 +35,7 @@ Simulation::runUntil(Tick limit)
         QueuedEvent ev = std::move(const_cast<QueuedEvent &>(top));
         _queue.pop();
         _now = ev.when;
+        setCurrentErrorTick(_now);
         ++_events_executed;
         DPRINTFN(Engine, _now, "sim", "event #", _events_executed,
                  " fires");
@@ -41,7 +45,11 @@ Simulation::runUntil(Tick limit)
                   "; runaway simulation suspected");
         }
         ev.fn();
+        if (_watchdog)
+            _watchdog->onEvent(_now);
     }
+    if (_watchdog && _queue.empty() && !_stop_requested)
+        _watchdog->onDrain(_now);
     return _now;
 }
 

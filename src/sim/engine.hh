@@ -17,6 +17,7 @@
 
 #include "logging.hh"
 #include "types.hh"
+#include "watchdog.hh"
 
 namespace cedar {
 
@@ -92,6 +93,24 @@ class Simulation
     /** Guard against runaway simulations; 0 disables the limit. */
     void setEventLimit(std::uint64_t limit) { _event_limit = limit; }
 
+    /**
+     * Attach a liveness watchdog (nullptr detaches). The engine
+     * consults it after every event and when the queue drains; the
+     * watchdog converts detected deadlock/livelock into a SimError.
+     */
+    void attachWatchdog(Watchdog *w) { _watchdog = w; }
+
+    /** The attached watchdog, or nullptr. */
+    Watchdog *watchdog() const { return _watchdog; }
+
+    /** Forward a component's progress marker to the watchdog, if any. */
+    void
+    noteProgress()
+    {
+        if (_watchdog)
+            _watchdog->noteProgress(_now);
+    }
+
   private:
     struct QueuedEvent
     {
@@ -120,6 +139,7 @@ class Simulation
     std::uint64_t _events_executed = 0;
     std::uint64_t _event_limit = 0;
     bool _stop_requested = false;
+    Watchdog *_watchdog = nullptr;
 };
 
 } // namespace cedar

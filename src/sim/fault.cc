@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FaultSpec parsing/printing and injector lane seeding.
+ */
+
+#include "fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/error.hh"
+#include "sim/logging.hh"
+
+namespace cedar {
+
+namespace {
+
+/** Category salts keep the decision lanes statistically independent. */
+constexpr std::uint64_t net_salt = 0x6E65745FULL;
+constexpr std::uint64_t mem_salt = 0x6D656D5FULL;
+constexpr std::uint64_t sync_salt = 0x73796E63ULL;
+constexpr std::uint64_t ce_salt = 0x63655F5FULL;
+
+double
+parseRate(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double rate = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || rate < 0.0 || rate > 1.0) {
+        throw SimError(SimError::Kind::config, "fault-spec",
+                       currentErrorTick(),
+                       "bad rate for '" + key + "': " + value +
+                           " (want a probability in [0, 1])");
+    }
+    return rate;
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec spec;
+    std::istringstream is(text);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string::npos) {
+            throw SimError(SimError::Kind::config, "fault-spec",
+                           currentErrorTick(),
+                           "expected key=value, got '" + item + "'");
+        }
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        if (key == "seed") {
+            spec.seed = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "net") {
+            spec.net_corrupt_rate = parseRate(key, value);
+        } else if (key == "mem1") {
+            spec.mem_single_bit_rate = parseRate(key, value);
+        } else if (key == "mem2") {
+            spec.mem_double_bit_rate = parseRate(key, value);
+        } else if (key == "sync") {
+            spec.sync_timeout_rate = parseRate(key, value);
+        } else if (key == "ce") {
+            spec.ce_dropout_rate = parseRate(key, value);
+        } else if (key == "module") {
+            spec.failed_module = std::atoi(value.c_str());
+        } else if (key == "retries") {
+            spec.net_retry_limit =
+                static_cast<unsigned>(std::strtoul(value.c_str(),
+                                                   nullptr, 0));
+        } else {
+            throw SimError(SimError::Kind::config, "fault-spec",
+                           currentErrorTick(),
+                           "unknown fault-spec key '" + key +
+                               "' (known: seed, net, mem1, mem2, sync, "
+                               "ce, module, retries)");
+        }
+    }
+    return spec;
+}
+
+std::string
+FaultSpec::str() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed << ",net=" << net_corrupt_rate
+       << ",mem1=" << mem_single_bit_rate
+       << ",mem2=" << mem_double_bit_rate
+       << ",sync=" << sync_timeout_rate << ",ce=" << ce_dropout_rate
+       << ",module=" << failed_module << ",retries=" << net_retry_limit;
+    return os.str();
+}
+
+FaultInjector::FaultInjector(const std::string &name,
+                             const FaultSpec &spec)
+    : Named(name), _spec(spec), _net_rng(spec.seed ^ net_salt),
+      _mem_rng(spec.seed ^ mem_salt), _sync_rng(spec.seed ^ sync_salt),
+      _ce_rng(spec.seed ^ ce_salt)
+{
+    sim_assert(_spec.mem_single_bit_rate + _spec.mem_double_bit_rate <=
+                   1.0,
+               "combined memory ECC rates exceed 1");
+    sim_assert(_spec.net_retry_limit > 0,
+               "network retry limit must be positive");
+}
+
+void
+FaultInjector::registerStats(StatRegistry &reg)
+{
+    reg.addCounter(child("net_corruptions"), _net_corruptions);
+    reg.addCounter(child("mem_single_bits"), _mem_single_bits);
+    reg.addCounter(child("mem_double_bits"), _mem_double_bits);
+    reg.addCounter(child("sync_timeouts"), _sync_timeouts);
+    reg.addCounter(child("ce_dropouts"), _ce_dropouts);
+}
+
+} // namespace cedar

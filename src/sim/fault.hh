@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Deterministic, seed-driven hardware fault injection.
+ *
+ * The Cedar hardware tolerated transient errors with ECC on the memory
+ * modules and detect-and-retransmit flow control on the network; the
+ * runtime had to live with synchronization processors that could time
+ * out and CEs that could be configured out of a gang. This layer lets
+ * the simulator study how the paper's performance numbers degrade
+ * under exactly those fault classes.
+ *
+ * A FaultSpec names per-event fault probabilities; a FaultInjector
+ * turns the spec into a stream of deterministic decisions, one
+ * dedicated xoshiro lane per fault category so the decision sequence
+ * of one category is independent of how often the others are
+ * consulted. Same seed + same spec + same workload ⇒ bit-identical
+ * runs (there is a regression test for this).
+ *
+ * Components hold an optional FaultInjector pointer, exactly like
+ * MonitorSink probes: a machine without faults pays one null check.
+ */
+
+#ifndef CEDARSIM_SIM_FAULT_HH
+#define CEDARSIM_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/named.hh"
+#include "sim/random.hh"
+#include "sim/statreg.hh"
+#include "sim/stats.hh"
+
+namespace cedar {
+
+/**
+ * What faults to inject, and how often. Rates are per-event
+ * probabilities: per packet traversal, per module access, per sync
+ * instruction, per iteration fetch.
+ */
+struct FaultSpec
+{
+    /** Master seed; every injector lane derives from it. */
+    std::uint64_t seed = 0xCEDA5EEDULL;
+    /** P(packet corrupted in flight); detected by ECC at the receiver
+     *  and retransmitted from the source port. */
+    double net_corrupt_rate = 0.0;
+    /** P(single-bit ECC error per module access); corrected in place
+     *  for a small latency penalty. */
+    double mem_single_bit_rate = 0.0;
+    /** P(double-bit ECC error per module access); detected, and the
+     *  bank access is retried in full. */
+    double mem_double_bit_rate = 0.0;
+    /** P(synchronization processor times out a Test-And-Operate); the
+     *  operation is NOT performed and the requester must retry. */
+    double sync_timeout_rate = 0.0;
+    /** P(a CE drops out of a self-scheduled loop at an iteration
+     *  fetch); survivors pick up the remaining iterations. */
+    double ce_dropout_rate = 0.0;
+    /** Module failed outright (-1: none). Its addresses are remapped
+     *  to the spare module after an ECC-rebuild of its contents. */
+    int failed_module = -1;
+    /** Retransmissions allowed per packet before the fault is declared
+     *  unrecoverable (SimError of kind `fault`). */
+    unsigned net_retry_limit = 8;
+
+    /** True when any fault source is active. */
+    bool
+    any() const
+    {
+        return net_corrupt_rate > 0.0 || mem_single_bit_rate > 0.0 ||
+               mem_double_bit_rate > 0.0 || sync_timeout_rate > 0.0 ||
+               ce_dropout_rate > 0.0 || failed_module >= 0;
+    }
+
+    /**
+     * Parse a comma-separated spec, e.g.
+     * "seed=7,net=1e-3,mem1=1e-4,mem2=1e-5,sync=1e-3,ce=1e-4,module=5".
+     * Unknown keys raise a SimError of kind `config`.
+     */
+    static FaultSpec parse(const std::string &text);
+
+    /** Canonical textual form (parse(str()) round-trips). */
+    std::string str() const;
+};
+
+/** Deterministic decision source for every fault category. */
+class FaultInjector : public Named
+{
+  public:
+    FaultInjector(const std::string &name, const FaultSpec &spec);
+
+    const FaultSpec &spec() const { return _spec; }
+
+    /** Roll: is this packet traversal corrupted in flight? */
+    bool
+    corruptPacket()
+    {
+        if (_spec.net_corrupt_rate <= 0.0)
+            return false;
+        if (_net_rng.uniform() >= _spec.net_corrupt_rate)
+            return false;
+        _net_corruptions.inc();
+        return true;
+    }
+
+    /**
+     * Roll the module ECC outcome for one access.
+     * @return 0 = clean, 1 = single-bit (corrected), 2 = double-bit
+     *         (detected; bank access retried)
+     */
+    unsigned
+    memEccEvent()
+    {
+        if (_spec.mem_single_bit_rate <= 0.0 &&
+            _spec.mem_double_bit_rate <= 0.0)
+            return 0;
+        double u = _mem_rng.uniform();
+        if (u < _spec.mem_double_bit_rate) {
+            _mem_double_bits.inc();
+            return 2;
+        }
+        if (u < _spec.mem_double_bit_rate + _spec.mem_single_bit_rate) {
+            _mem_single_bits.inc();
+            return 1;
+        }
+        return 0;
+    }
+
+    /** Roll: does the sync processor time this instruction out? */
+    bool
+    syncTimeout()
+    {
+        if (_spec.sync_timeout_rate <= 0.0)
+            return false;
+        if (_sync_rng.uniform() >= _spec.sync_timeout_rate)
+            return false;
+        _sync_timeouts.inc();
+        return true;
+    }
+
+    /** Roll: does this CE drop out at this iteration fetch? */
+    bool
+    ceDropout()
+    {
+        if (_spec.ce_dropout_rate <= 0.0)
+            return false;
+        if (_ce_rng.uniform() >= _spec.ce_dropout_rate)
+            return false;
+        _ce_dropouts.inc();
+        return true;
+    }
+
+    /** Total injections across every category so far. */
+    std::uint64_t
+    injectedTotal() const
+    {
+        return _net_corruptions.value() + _mem_single_bits.value() +
+               _mem_double_bits.value() + _sync_timeouts.value() +
+               _ce_dropouts.value();
+    }
+
+    std::uint64_t netCorruptions() const { return _net_corruptions.value(); }
+    std::uint64_t memSingleBits() const { return _mem_single_bits.value(); }
+    std::uint64_t memDoubleBits() const { return _mem_double_bits.value(); }
+    std::uint64_t syncTimeouts() const { return _sync_timeouts.value(); }
+    std::uint64_t ceDropouts() const { return _ce_dropouts.value(); }
+
+    /** Register injected-fault counters under this component's name. */
+    void registerStats(StatRegistry &reg);
+
+  private:
+    FaultSpec _spec;
+    Rng _net_rng;
+    Rng _mem_rng;
+    Rng _sync_rng;
+    Rng _ce_rng;
+    Counter _net_corruptions;
+    Counter _mem_single_bits;
+    Counter _mem_double_bits;
+    Counter _sync_timeouts;
+    Counter _ce_dropouts;
+};
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_FAULT_HH

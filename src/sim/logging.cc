@@ -7,7 +7,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
+
+#include "error.hh"
 
 namespace cedar {
 
@@ -34,10 +35,13 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
     std::fflush(stderr);
-    // Throw rather than abort() so tests can EXPECT the failure; the
-    // exception type is never caught in normal simulator runs, so the
-    // effect for a user is still immediate termination with a message.
-    throw std::logic_error("panic: " + msg);
+    if (abortOnError())
+        std::abort();
+    // Throw rather than abort() so tests can EXPECT the failure and
+    // embedders can recover; the exception type is never caught in
+    // normal simulator runs, so the effect for a user is still
+    // immediate termination with a message.
+    throw SimError(SimError::Kind::assertion, "", currentErrorTick(), msg);
 }
 
 void
@@ -45,7 +49,9 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
     std::fflush(stderr);
-    throw std::runtime_error("fatal: " + msg);
+    if (abortOnError())
+        std::abort();
+    throw SimError(SimError::Kind::config, "", currentErrorTick(), msg);
 }
 
 void

@@ -2,11 +2,15 @@
  * @file
  * Error and status reporting in the gem5 tradition.
  *
- * panic()  — an internal simulator invariant was violated; aborts.
+ * panic()  — an internal simulator invariant was violated; throws a
+ *            SimError of kind `assertion`.
  * fatal()  — the user asked for something impossible (bad config);
- *            exits with an error code.
+ *            throws a SimError of kind `config`.
  * warn()   — something is modeled approximately; simulation continues.
  * inform() — plain status output.
+ *
+ * Set CEDAR_ABORT_ON_ERROR=1 to abort() instead of throwing (keeps the
+ * failing stack alive under a debugger).
  */
 
 #ifndef CEDARSIM_SIM_LOGGING_HH

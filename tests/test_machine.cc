@@ -40,7 +40,7 @@ TEST(Config, RejectsMismatchedNetwork)
 {
     CedarConfig cfg;
     cfg.num_clusters = 2; // 16 CEs but a 32-port network
-    EXPECT_THROW(CedarMachine m(cfg), std::runtime_error);
+    EXPECT_THROW(CedarMachine m(cfg), cedar::SimError);
 }
 
 TEST(Machine, CeIndexingIsClusterMajor)

@@ -11,6 +11,7 @@
 #include "mem/globalmem.hh"
 #include "mem/module.hh"
 #include "mem/syncops.hh"
+#include "sim/error.hh"
 
 using namespace cedar;
 using namespace cedar::mem;
@@ -239,10 +240,10 @@ TEST(GlobalMemory, ValidatesConfiguration)
 {
     GlobalMemoryParams params;
     params.num_ports = 16; // radices say 32
-    EXPECT_THROW(GlobalMemory("gm", params), std::runtime_error);
+    EXPECT_THROW(GlobalMemory("gm", params), cedar::SimError);
     params = GlobalMemoryParams{};
     params.num_modules = 0;
-    EXPECT_THROW(GlobalMemory("gm", params), std::runtime_error);
+    EXPECT_THROW(GlobalMemory("gm", params), cedar::SimError);
 }
 
 /** Property: sustained bandwidth through the system never exceeds the

@@ -165,6 +165,58 @@ INSTANTIATE_TEST_SUITE_P(
                       std::vector<unsigned>{4, 4},
                       std::vector<unsigned>{16}));
 
+// ---------------------------------------------------------------------
+// Port-queue capacity (Cedar's switches buffer two words) and the
+// backpressure that bounded queues exert on upstream senders.
+// ---------------------------------------------------------------------
+
+TEST(LinkPortQueue, TwoWordCapacityIsAHardInvariant)
+{
+    net::LinkPort port(1, 2);
+    EXPECT_EQ(port.queueCapacityWords(), 2u);
+    EXPECT_EQ(port.entryFree(), 0u);
+    port.acquire(0, 2);                  // transmits immediately
+    EXPECT_EQ(port.entryFree(), 0u);     // backlog exactly at capacity
+    port.acquire(0, 2);                  // fills the two-word queue
+    EXPECT_EQ(port.entryFree(), 2u);     // room only once a word drains
+    // Handing the port a third packet now would overflow the hardware
+    // queue; the port rejects it rather than buffering words it cannot
+    // hold.
+    EXPECT_THROW(port.acquire(0, 2), std::logic_error);
+    EXPECT_NO_THROW(port.acquire(port.entryFree(), 2));
+}
+
+TEST(LinkPortQueue, UnboundedPortNeverBackpressures)
+{
+    net::LinkPort port(1, 0);
+    for (int i = 0; i < 16; ++i)
+        port.acquire(0, 4); // arbitrarily deep backlog is accepted
+    EXPECT_EQ(port.entryFree(), 0u);
+}
+
+TEST(Omega, BackpressureCountsStallsWithoutChangingTiming)
+{
+    // Saturating one destination must force upstream holds on the
+    // bounded network, while delaying a packet's entry to entryFree()
+    // never changes when it actually transmits — so the bounded and
+    // unbounded networks stay cycle-identical.
+    OmegaNetwork bounded("bounded", {8, 4}, 1, 1, 2);
+    OmegaNetwork unbounded("unbounded", {8, 4}, 1, 1, 0);
+    Tick t = 0;
+    for (unsigned round = 0; round < 8; ++round) {
+        for (unsigned in = 0; in < 32; ++in) {
+            auto b = bounded.traverse(in, 3, 4, t);
+            auto u = unbounded.traverse(in, 3, 4, t);
+            EXPECT_EQ(b.head_arrival, u.head_arrival);
+            EXPECT_EQ(b.tail_arrival, u.tail_arrival);
+            EXPECT_EQ(b.queueing, u.queueing);
+        }
+        t += 4;
+    }
+    EXPECT_GT(bounded.backpressureStalls(), 0u);
+    EXPECT_EQ(unbounded.backpressureStalls(), 0u);
+}
+
 /** Property: a port never transmits more than one word per cycle. */
 TEST(Omega, ThroughputNeverExceedsPortCapacity)
 {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/streams.hh"
+#include "sim/error.hh"
 #include "sim/logging.hh"
 
 using namespace cedar;
@@ -122,9 +123,14 @@ TEST(Logging, PanicThrowsLogicError)
     EXPECT_THROW(panic("broken invariant ", 42), std::logic_error);
 }
 
-TEST(Logging, FatalThrowsRuntimeError)
+TEST(Logging, FatalThrowsConfigError)
 {
-    EXPECT_THROW(fatal("bad config ", "x"), std::runtime_error);
+    try {
+        fatal("bad config ", "x");
+        FAIL() << "fatal did not throw";
+    } catch (const cedar::SimError &e) {
+        EXPECT_EQ(e.kind(), cedar::SimError::Kind::config);
+    }
 }
 
 TEST(Logging, SimAssertPassesAndFails)
