@@ -14,6 +14,7 @@
 #define CEDARSIM_CLUSTER_CCBUS_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/port.hh"
@@ -37,10 +38,20 @@ struct CcBusParams
     Cycles join_cycles = 4;
 };
 
+/** Resumed when a barrier this waiter arrived at releases. */
+class BarrierWaiter
+{
+  public:
+    virtual ~BarrierWaiter() = default;
+    virtual void barrierReleased(Tick when) = 0;
+};
+
 /**
  * An intracluster barrier managed by the bus. Participants call
- * arrive(); when the last one does, every callback fires join_cycles
- * later.
+ * arrive(); when the last one does, every waiter resumes join_cycles
+ * later. Waiters are interface pointers and the release events come
+ * from a per-barrier recycled pool, so the hot CE path allocates
+ * nothing once warm.
  */
 class CcBarrier
 {
@@ -52,49 +63,118 @@ class CcBarrier
         sim_assert(participants > 0, "barrier needs participants");
     }
 
-    /** Register arrival at @p now; @p resume runs when all have arrived. */
+    /** Register arrival at @p now; @p w resumes when all have arrived. */
     void
-    arrive(Tick now, std::function<void(Tick)> resume)
+    arrive(Tick now, BarrierWaiter &w)
     {
+        Entry entry{&w, 0, false};
         if (Watchdog *wd = _sim.watchdog()) {
             // A blocked arrival is a liveness hazard: if the gang loses
             // a participant the queue drains with this wait pending and
             // the watchdog reports exactly who was stuck.
-            unsigned token = wd->beginWait(
+            entry.token = wd->beginWait(
                 "CCB barrier: " + std::to_string(_waiters.size() + 1) +
                 "/" + std::to_string(_participants) +
                 " arrived, waiting for the rest");
-            resume = [wd, token, r = std::move(resume)](Tick t) {
-                wd->endWait(token);
-                r(t);
-            };
+            entry.has_token = true;
         }
-        _waiters.push_back(std::move(resume));
+        _waiters.push_back(entry);
         _latest = std::max(_latest, now);
         if (_waiters.size() == _participants) {
             Tick release = _latest + _join_cycles;
-            auto waiters = std::move(_waiters);
+            // One resume event per waiter, as the closure engine
+            // scheduled, so same-tick interleaving is unchanged. Pool
+            // slots recycle across episodes: an episode cannot begin
+            // until the previous one's resumes have all fired.
+            for (std::size_t i = 0; i < _waiters.size(); ++i) {
+                if (i >= _resume_pool.size()) {
+                    _resume_pool.push_back(
+                        std::make_unique<ResumeEvent>());
+                }
+                ResumeEvent &ev = *_resume_pool[i];
+                sim_assert(!ev.scheduled(),
+                           "barrier resume pool overrun");
+                ev._sim_ref = &_sim;
+                ev._entry = _waiters[i];
+                ev._release = release;
+                _sim.schedule(ev, release);
+            }
             _waiters.clear();
             _latest = 0;
-            for (auto &w : waiters) {
-                _sim.schedule(release, [this, w = std::move(w), release] {
-                    // A barrier release is forward progress.
-                    _sim.noteProgress();
-                    w(release);
-                });
-            }
         }
+    }
+
+    /**
+     * Closure convenience for tests: a one-shot adapter owns the
+     * callback and frees itself at release.
+     */
+    void
+    arrive(Tick now, std::function<void(Tick)> resume)
+    {
+        arrive(now, *new OneShotWaiter(std::move(resume)));
     }
 
     /** Number of CEs currently waiting. */
     std::size_t waiting() const { return _waiters.size(); }
 
   private:
+    struct Entry
+    {
+        BarrierWaiter *waiter;
+        unsigned token;
+        bool has_token;
+    };
+
+    /** Resumes one waiter at the release tick. */
+    class ResumeEvent : public Event
+    {
+      public:
+        ResumeEvent() : Event(EventPriority::normal) {}
+
+        void
+        process() override
+        {
+            // A barrier release is forward progress.
+            _sim_ref->noteProgress();
+            if (_entry.has_token)
+                _sim_ref->watchdog()->endWait(_entry.token);
+            _entry.waiter->barrierReleased(_release);
+        }
+
+        const char *description() const override { return "ccb.resume"; }
+
+        Simulation *_sim_ref = nullptr;
+        Entry _entry{};
+        Tick _release = 0;
+    };
+
+    /** Self-deleting adapter behind the closure form of arrive(). */
+    class OneShotWaiter : public BarrierWaiter
+    {
+      public:
+        explicit OneShotWaiter(std::function<void(Tick)> fn)
+            : _fn(std::move(fn))
+        {
+        }
+
+        void
+        barrierReleased(Tick when) override
+        {
+            auto fn = std::move(_fn);
+            delete this;
+            fn(when);
+        }
+
+      private:
+        std::function<void(Tick)> _fn;
+    };
+
     Simulation &_sim;
     unsigned _participants;
     Cycles _join_cycles;
     Tick _latest = 0;
-    std::vector<std::function<void(Tick)>> _waiters;
+    std::vector<Entry> _waiters;
+    std::vector<std::unique_ptr<ResumeEvent>> _resume_pool;
 };
 
 /** The per-cluster concurrency control bus. */

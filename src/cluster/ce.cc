@@ -22,12 +22,13 @@ ComputationalElement::ComputationalElement(
 }
 
 void
-ComputationalElement::run(OpStream *stream, std::function<void()> on_done)
+ComputationalElement::run(OpStream *stream, CeDoneListener *listener)
 {
     sim_assert(!busy(), name(), " already running a stream");
     sim_assert(stream, "null op stream");
     _stream = stream;
-    _on_done = std::move(on_done);
+    _done_listener = listener;
+    _on_done = nullptr;
     _have_op = false;
     _waiting = false;
     _gv = GlobalVector{};
@@ -35,15 +36,68 @@ ComputationalElement::run(OpStream *stream, std::function<void()> on_done)
 }
 
 void
+ComputationalElement::run(OpStream *stream, std::function<void()> on_done)
+{
+    run(stream, static_cast<CeDoneListener *>(nullptr));
+    _on_done = std::move(on_done);
+}
+
+void
 ComputationalElement::continueAt(Tick when)
 {
+    // The recurring member event replaces the per-yield closure: the
+    // CE is a sequential state machine, so at most one continuation is
+    // ever pending.
     _waiting = true;
-    _sim.schedule(std::max(when, _sim.curTick()),
-                  [this] {
-                      _waiting = false;
-                      advance();
-                  },
-                  EventPriority::ce_progress);
+    _sim.schedule(_advance_event, std::max(when, _sim.curTick()));
+}
+
+void
+ComputationalElement::resumeAdvance()
+{
+    _waiting = false;
+    advance();
+}
+
+void
+ComputationalElement::resumeSync()
+{
+    _waiting = false;
+    _stream->syncResult(_pending_sync);
+    advance();
+}
+
+void
+ComputationalElement::barrierReleased(Tick)
+{
+    _waiting = false;
+    advance();
+}
+
+void
+ComputationalElement::pfuConsumed(Tick done)
+{
+    _flops += _pending_pfu_flops;
+    _ops.inc();
+    continueAt(done);
+}
+
+void
+ComputationalElement::streamDone()
+{
+    _stream = nullptr;
+    _last_done = _sim.curTick();
+    // A stream running to completion is forward progress.
+    _sim.noteProgress();
+    if (_done_listener) {
+        CeDoneListener *listener = _done_listener;
+        _done_listener = nullptr;
+        listener->ceDone();
+    } else if (_on_done) {
+        auto done = std::move(_on_done);
+        _on_done = nullptr;
+        done();
+    }
 }
 
 void
@@ -106,15 +160,7 @@ ComputationalElement::advance()
         }
         if (!_have_op) {
             if (!_stream->next(_op)) {
-                _stream = nullptr;
-                _last_done = _sim.curTick();
-                // A stream running to completion is forward progress.
-                _sim.noteProgress();
-                if (_on_done) {
-                    auto done = std::move(_on_done);
-                    _on_done = nullptr;
-                    done();
-                }
+                streamDone();
                 return;
             }
             _have_op = true;
@@ -174,17 +220,11 @@ ComputationalElement::advance()
                 return;
               }
               case VecSource::prefetch_buffer: {
-                double flops = _op.flops;
+                _pending_pfu_flops = _op.flops;
                 unsigned first = _op.buf_offset;
                 unsigned count = _op.length;
                 _have_op = false;
-                _pfu->whenConsumed(
-                    first, count, now + setup,
-                    [this, flops](Tick done) {
-                        _flops += flops;
-                        _ops.inc();
-                        continueAt(done);
-                    });
+                _pfu->whenConsumed(first, count, now + setup, *this);
                 return;
               }
             }
@@ -215,17 +255,11 @@ ComputationalElement::advance()
             auto res =
                 _gm.sync(_port, _op.addr, _op.sync_op,
                          now + _params.issue_cycles);
-            mem::SyncResult sync_res = res.sync;
+            _pending_sync = res.sync;
             finishOp(_op.flops);
             Tick ready = res.data_at_port + _params.drain_cycles;
             _waiting = true;
-            _sim.schedule(ready,
-                          [this, sync_res] {
-                              _waiting = false;
-                              _stream->syncResult(sync_res);
-                              advance();
-                          },
-                          EventPriority::ce_progress);
+            _sim.schedule(_sync_event, ready);
             return;
           }
           case OpKind::coherence: {
@@ -240,10 +274,7 @@ ComputationalElement::advance()
             unsigned id = _op.barrier_id;
             finishOp(0.0);
             _waiting = true;
-            _barriers.barrier(id).arrive(now, [this](Tick) {
-                _waiting = false;
-                advance();
-            });
+            _barriers.barrier(id).arrive(now, *this);
             return;
           }
         }

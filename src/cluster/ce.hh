@@ -61,8 +61,18 @@ class BarrierProvider
     virtual CcBarrier &barrier(unsigned id) = 0;
 };
 
+/** Notified when a CE exhausts its op stream (allocation-free). */
+class CeDoneListener
+{
+  public:
+    virtual ~CeDoneListener() = default;
+    virtual void ceDone() = 0;
+};
+
 /** One computational element. */
-class ComputationalElement : public Named
+class ComputationalElement : public Named,
+                             public BarrierWaiter,
+                             public prefetch::PfuConsumer
 {
   public:
     ComputationalElement(const std::string &name, Simulation &sim,
@@ -72,8 +82,16 @@ class ComputationalElement : public Named
                          const prefetch::PfuParams &pfu_params);
 
     /**
-     * Begin executing @p stream; @p on_done fires when it is exhausted.
-     * The CE must be idle. The stream must outlive execution.
+     * Begin executing @p stream; @p listener->ceDone() fires when it
+     * is exhausted. The CE must be idle. The stream and listener must
+     * outlive execution. This is the allocation-free form the loop
+     * runtime uses.
+     */
+    void run(OpStream *stream, CeDoneListener *listener);
+
+    /**
+     * Closure convenience for kernels and tests; @p on_done fires when
+     * the stream is exhausted.
      */
     void run(OpStream *stream, std::function<void()> on_done);
 
@@ -109,11 +127,24 @@ class ComputationalElement : public Named
         _pfu->resetStats();
     }
 
+    /** BarrierWaiter: resume after a concurrency-bus barrier release. */
+    void barrierReleased(Tick when) override;
+
+    /** PfuConsumer: resume after a prefetch-buffer consumption. */
+    void pfuConsumed(Tick done) override;
+
   private:
     void advance();
     void continueAt(Tick when);
     void finishOp(double flops);
     void globalVectorStep();
+    void streamDone();
+
+    /** Fired by _advance_event: clear the wait flag and advance. */
+    void resumeAdvance();
+
+    /** Fired by _sync_event: deliver _pending_sync and advance. */
+    void resumeSync();
 
     Simulation &_sim;
     mem::GlobalMemory &_gm;
@@ -124,7 +155,27 @@ class ComputationalElement : public Named
     CeParams _params;
     std::unique_ptr<prefetch::PrefetchUnit> _pfu;
 
+    /**
+     * The CE's recurring continuation: every yield of the state
+     * machine reschedules this member event instead of allocating a
+     * closure — the steady-state advance path schedules nothing on
+     * the heap.
+     */
+    MemberEvent<ComputationalElement,
+                &ComputationalElement::resumeAdvance>
+        _advance_event{*this, EventPriority::ce_progress, "ce.advance"};
+
+    /** Continuation of an OpKind::sync op; result parked in
+     *  _pending_sync until the event fires. */
+    MemberEvent<ComputationalElement, &ComputationalElement::resumeSync>
+        _sync_event{*this, EventPriority::ce_progress, "ce.sync"};
+    mem::SyncResult _pending_sync{};
+
+    /** Flops credit of the in-flight prefetch-buffer consumption. */
+    double _pending_pfu_flops = 0.0;
+
     OpStream *_stream = nullptr;
+    CeDoneListener *_done_listener = nullptr;
     std::function<void()> _on_done;
     Op _op;
     bool _have_op = false;

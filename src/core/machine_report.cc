@@ -20,6 +20,11 @@ snapshot(machine::CedarMachine &machine)
     MachineSnapshot snap;
     snap.elapsed = machine.sim().curTick();
 
+    snap.sim_events = static_cast<std::uint64_t>(
+        reg.scalarValue("cedar.sim.events"));
+    snap.host_seconds = reg.scalarValue("cedar.sim.host_seconds");
+    snap.host_event_rate = reg.scalarValue("cedar.sim.host_event_rate");
+
     snap.gm_reads = reg.counterValue("cedar.gm.reads");
     snap.gm_writes = reg.counterValue("cedar.gm.writes");
     snap.gm_syncs = reg.counterValue("cedar.gm.syncs");
@@ -108,6 +113,11 @@ renderReport(const MachineSnapshot &snap)
     os << "  requests " << snap.pfu_requests << ", mean latency "
        << fmt(snap.pfu_latency_mean, 1)
        << " cycles (hardware minimum 8)\n";
+
+    os << "\nengine:\n";
+    os << "  " << snap.sim_events << " events in "
+       << fmt(snap.host_seconds, 3) << " host seconds ("
+       << fmt(snap.host_event_rate / 1e6, 2) << " M events/s)\n";
     return os.str();
 }
 

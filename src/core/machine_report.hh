@@ -21,6 +21,11 @@ struct MachineSnapshot
 {
     Tick elapsed = 0;
 
+    // Engine (host-side performance of the simulator itself).
+    std::uint64_t sim_events = 0;
+    double host_seconds = 0.0;
+    double host_event_rate = 0.0;
+
     // Global memory system.
     std::uint64_t gm_reads = 0;
     std::uint64_t gm_writes = 0;

@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include "sim/engine.hh"
 #include "sim/logging.hh"
 
 namespace cedar::core {
@@ -193,6 +194,21 @@ BenchOutput::jsonLine() const
 void
 BenchOutput::emit()
 {
+    // Every bench JSON line carries engine throughput for free: events
+    // executed and host seconds across all Simulations in the process.
+    // Wall-clock derived, so scripts diffing bench output for
+    // determinism should ignore the host-time keys.
+    if (!_engine_metrics_added) {
+        _engine_metrics_added = true;
+        metric("sim_events", Simulation::globalEventsExecuted());
+        double host = Simulation::globalHostSeconds();
+        metric("sim_host_seconds", host);
+        metric("sim_host_event_rate",
+               host > 0.0 ? static_cast<double>(
+                                Simulation::globalEventsExecuted()) /
+                                host
+                          : 0.0);
+    }
     std::string line = jsonLine();
     line += '\n';
     std::fflush(stdout);

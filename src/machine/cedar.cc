@@ -104,6 +104,13 @@ CedarMachine::registerStats()
     _stats.addScalar(child("sim.ticks"), [this] {
         return static_cast<double>(_sim.curTick());
     });
+    // Host-side engine throughput. Wall-clock derived, so these two are
+    // the only registry entries that differ between identical runs;
+    // determinism comparisons must erase them before diffing snapshots.
+    _stats.addScalar(child("sim.host_seconds"),
+                     [this] { return _sim.hostSeconds(); });
+    _stats.addScalar(child("sim.host_event_rate"),
+                     [this] { return _sim.hostEventRate(); });
 }
 
 void

@@ -48,7 +48,6 @@ PrefetchUnit::beginFire(Addr start, unsigned length, unsigned stride,
     sim_assert(mem::isGlobal(start), "prefetch of non-global address");
 
     // Starting a new prefetch invalidates the buffer (paper, Section 2).
-    ++_generation;
     _start = start;
     _stride = stride;
     _length = length;
@@ -66,14 +65,15 @@ PrefetchUnit::beginFire(Addr start, unsigned length, unsigned stride,
         _monitor->record(when, Signal::pfu_fire, length);
     DPRINTF(PFU, when, "fire start=", start, " length=", length,
             " stride=", stride, " enabled=", _enabled_count);
-    if (_enabled_count == 0)
+    if (_enabled_count == 0) {
+        // Nothing to fetch: cancel any pending issue of the prefetch
+        // this fire invalidated.
+        if (_issue_event.scheduled())
+            _sim.deschedule(_issue_event);
         return;
+    }
 
-    std::uint64_t gen = _generation;
-    _sim.schedule(when, [this, gen] {
-        if (gen == _generation)
-            issueNext();
-    });
+    _sim.reschedule(_issue_event, when);
 }
 
 bool
@@ -141,11 +141,7 @@ PrefetchUnit::issueNext()
             _page_crossings.inc();
             next += _params.page_cross_penalty;
         }
-        std::uint64_t gen = _generation;
-        _sim.schedule(next, [this, gen] {
-            if (gen == _generation)
-                issueNext();
-        });
+        _sim.schedule(_issue_event, next);
     }
 }
 
@@ -174,15 +170,67 @@ PrefetchUnit::wordArrival(unsigned index) const
 
 void
 PrefetchUnit::whenConsumed(unsigned first, unsigned count, Tick start,
+                           PfuConsumer &consumer)
+{
+    pushQuery(first, count, start, &consumer, nullptr);
+}
+
+void
+PrefetchUnit::whenConsumed(unsigned first, unsigned count, Tick start,
                            std::function<void(Tick)> callback)
+{
+    pushQuery(first, count, start, nullptr, std::move(callback));
+}
+
+void
+PrefetchUnit::pushQuery(unsigned first, unsigned count, Tick start,
+                        PfuConsumer *consumer,
+                        std::function<void(Tick)> callback)
 {
     sim_assert(count > 0, "empty consumption query");
     sim_assert(first + count <= _length, "consumption of [", first, ",",
                first + count, ") outside prefetch of ", _length,
                " words");
     _queries.push_back(Query{first + count - 1, first, count, start,
-                             std::move(callback)});
+                             consumer, std::move(callback)});
     answerQueries();
+}
+
+PrefetchUnit::ConsumeEvent *
+PrefetchUnit::acquireConsumeEvent()
+{
+    if (_free_consume) {
+        ConsumeEvent *ev = _free_consume;
+        _free_consume = ev->_free_next;
+        ev->_free_next = nullptr;
+        return ev;
+    }
+    _consume_pool.emplace_back(new ConsumeEvent(*this));
+    return _consume_pool.back().get();
+}
+
+void
+PrefetchUnit::releaseConsumeEvent(ConsumeEvent *ev)
+{
+    ev->_free_next = _free_consume;
+    _free_consume = ev;
+}
+
+void
+PrefetchUnit::ConsumeEvent::process()
+{
+    // Release first: the consumer may immediately queue another
+    // consumption and is welcome to reuse this node.
+    PfuConsumer *consumer = _consumer;
+    auto fn = std::move(_fn);
+    _consumer = nullptr;
+    _fn = nullptr;
+    Tick done = _done;
+    _pfu.releaseConsumeEvent(this);
+    if (consumer)
+        consumer->pfuConsumed(done);
+    else
+        fn(done);
 }
 
 void
@@ -215,11 +263,14 @@ PrefetchUnit::answerQueries()
             _monitor->record(t, Signal::pfu_consume, query.count);
         DPRINTF(PFU, t, "consumed [", query.first, ",",
                 query.first + query.count, ")");
-        auto cb = std::move(query.callback);
+        ConsumeEvent *ev = acquireConsumeEvent();
+        ev->_consumer = query.consumer;
+        ev->_fn = std::move(query.callback);
+        ev->_done = t;
         _queries.erase(_queries.begin() +
                        static_cast<std::ptrdiff_t>(q));
         Tick fire_at = std::max(t, _sim.curTick());
-        _sim.schedule(fire_at, [cb = std::move(cb), t] { cb(t); });
+        _sim.schedule(*ev, fire_at);
     }
 }
 

@@ -17,6 +17,7 @@
 #define CEDARSIM_PREFETCH_PFU_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mem/address.hh"
@@ -28,6 +29,16 @@
 #include "sim/stats.hh"
 
 namespace cedar::prefetch {
+
+/** Notified when an in-order buffer consumption completes. */
+class PfuConsumer
+{
+  public:
+    virtual ~PfuConsumer() = default;
+
+    /** @param done tick at which the last word has drained */
+    virtual void pfuConsumed(Tick done) = 0;
+};
 
 /** Construction parameters for a PFU. */
 struct PfuParams
@@ -103,10 +114,15 @@ class PrefetchUnit : public Named
     /**
      * Ask for the completion tick of consuming words
      * [first, first + count) in order, one per cycle, starting no
-     * earlier than @p start. The callback receives the completion tick
-     * and runs as a simulation event (possibly immediately if all
-     * arrivals are already known).
+     * earlier than @p start. The consumer is notified from a
+     * simulation event (possibly immediately if all arrivals are
+     * already known). Allocation-free: the answer rides a recycled
+     * pool event and the consumer is an interface pointer.
      */
+    void whenConsumed(unsigned first, unsigned count, Tick start,
+                      PfuConsumer &consumer);
+
+    /** Closure convenience for tests (same semantics). */
     void whenConsumed(unsigned first, unsigned count, Tick start,
                       std::function<void(Tick)> callback);
 
@@ -139,11 +155,23 @@ class PrefetchUnit : public Named
     void issueNext();
     void finishBlock();
     void answerQueries();
+    void pushQuery(unsigned first, unsigned count, Tick start,
+                   PfuConsumer *consumer,
+                   std::function<void(Tick)> callback);
 
     Simulation &_sim;
     mem::GlobalMemory &_gm;
     unsigned _port;
     PfuParams _params;
+
+    /**
+     * The recurring issue pump. beginFire() reschedules it, which
+     * also cancels the pending issue of any prefetch a new fire
+     * interrupts (the old engine let a stale generation-checked
+     * closure fire as a no-op instead).
+     */
+    MemberEvent<PrefetchUnit, &PrefetchUnit::issueNext> _issue_event{
+        *this, EventPriority::normal, "pfu.issue"};
 
     Addr _start = 0;
     unsigned _stride = 1;
@@ -151,7 +179,6 @@ class PrefetchUnit : public Named
     unsigned _next_issue = 0;
     unsigned _arrived = 0;
     unsigned _enabled_count = 0;
-    std::uint64_t _generation = 0;
     std::vector<Tick> _arrivals;
     std::vector<bool> _mask;
     std::vector<Tick> _request_arrivals;
@@ -162,9 +189,37 @@ class PrefetchUnit : public Named
         unsigned first;
         unsigned count;
         Tick start;
+        PfuConsumer *consumer;
         std::function<void(Tick)> callback;
     };
     std::vector<Query> _queries;
+
+    /** Delivers one answered query; recycled through _free_consume. */
+    class ConsumeEvent : public Event
+    {
+      public:
+        explicit ConsumeEvent(PrefetchUnit &pfu)
+            : Event(EventPriority::normal), _pfu(pfu)
+        {
+        }
+
+        void process() override;
+        const char *description() const override { return "pfu.consume"; }
+
+      private:
+        friend class PrefetchUnit;
+        PrefetchUnit &_pfu;
+        PfuConsumer *_consumer = nullptr;
+        std::function<void(Tick)> _fn;
+        Tick _done = 0;
+        ConsumeEvent *_free_next = nullptr;
+    };
+
+    ConsumeEvent *acquireConsumeEvent();
+    void releaseConsumeEvent(ConsumeEvent *ev);
+
+    std::vector<std::unique_ptr<ConsumeEvent>> _consume_pool;
+    ConsumeEvent *_free_consume = nullptr;
 
     SampleStat _latency;
     SampleStat _interarrival;

@@ -2,6 +2,11 @@
  * @file
  * Loop runtime implementation: stream construction for the three DOALL
  * flavors and the self-scheduling protocols.
+ *
+ * Launch state lives in pooled context objects whose gang-start,
+ * per-CE-done, and SDOALL pump/dispatch steps are event objects and
+ * interface calls — once the pools are warm, driving a loop schedules
+ * nothing on the heap.
  */
 
 #include "loops.hh"
@@ -263,33 +268,341 @@ class XdoallStream : public OpStream
 
 } // namespace
 
-struct LoopRunner::LoopContext
+/**
+ * Shared launch state for a CDOALL/XDOALL gang. The context is the
+ * CeDoneListener of every CE it starts; its StartEvent member is the
+ * one event a launch schedules. Contexts are pooled by the runner and
+ * recycled at join, so repeated launches reuse the same objects.
+ */
+struct LoopRunner::LoopContext : public cluster::CeDoneListener
 {
+    explicit LoopContext(LoopRunner &r) : runner(r) {}
+
+    /** Fires at the gang's start tick and runs every CE's stream. */
+    class StartEvent : public Event
+    {
+      public:
+        explicit StartEvent(LoopContext &ctx)
+            : Event(EventPriority::normal), _ctx(ctx)
+        {
+        }
+
+        void process() override { _ctx.startGang(); }
+        const char *description() const override { return "loop.start"; }
+
+      private:
+        LoopContext &_ctx;
+    };
+
+    /**
+     * Per-CE stream of a CDOALL: iterations self-scheduled over the
+     * concurrency control bus (the shared counter lives in the context;
+     * bus dispatch serializes access, so a plain increment models it),
+     * then one join barrier. A fault-injected drop-out ends this CE's
+     * iteration fetching but it still reports at the barrier — the CCB
+     * signals the drop-out, so the survivors' join is never left short.
+     */
+    class CdoallStream : public OpStream
+    {
+      public:
+        CdoallStream(LoopContext &ctx, unsigned global_ce, Cycles dispatch,
+                     Cycles body_call, unsigned barrier_id)
+            : _ctx(ctx), _ce(global_ce), _dispatch(dispatch),
+              _body_call(body_call), _barrier_id(barrier_id)
+        {
+        }
+
+        bool next(Op &op) override;
+
+      private:
+        bool refill();
+
+        LoopContext &_ctx;
+        unsigned _ce;
+        Cycles _dispatch;
+        Cycles _body_call;
+        unsigned _barrier_id;
+        std::deque<Op> _queue;
+        bool _joined = false;
+        bool _dropped = false;
+        bool _done = false;
+    };
+
+    /** Per-CE stream of a statically chunked XDOALL: [lo, hi). */
+    class StaticChunkStream : public OpStream
+    {
+      public:
+        StaticChunkStream(LoopContext &ctx, unsigned global_ce,
+                          Cycles body_call, unsigned lo, unsigned hi)
+            : _ctx(ctx), _ce(global_ce), _body_call(body_call), _pos(lo),
+              _hi(hi)
+        {
+        }
+
+        bool next(Op &op) override;
+
+      private:
+        LoopContext &_ctx;
+        unsigned _ce;
+        Cycles _body_call;
+        unsigned _pos;
+        unsigned _hi;
+        std::deque<Op> _queue;
+    };
+
+    void startGang();
+
+    /** CeDoneListener: one CE exhausted its stream. */
+    void ceDone() override;
+
+    LoopRunner &runner;
+    StartEvent start_event{*this};
     IterationBody body;
     RuntimeParams params;
     XdoallStream::Shared xdoall_shared{};
     std::vector<std::unique_ptr<OpStream>> streams;
+    /** Machine-wide CE indices the gang runs on (parallel to streams). */
+    std::vector<unsigned> ces;
     unsigned remaining = 0;
     std::function<void()> done;
+    LoopDoneListener *done_listener = nullptr;
     // CDOALL self-scheduling state (bus-serialized, so a plain counter).
     unsigned next_iter = 0;
     unsigned n_iters = 0;
     // CEs still taking iterations (fault injection can shrink this;
     // drop-out never takes the last one).
     unsigned alive = 0;
-    bool join_emitted = false;
+};
 
-    void
-    ceFinished()
-    {
-        sim_assert(remaining > 0, "loop finished more CEs than it started");
-        if (--remaining == 0 && done) {
-            auto d = std::move(done);
-            done = nullptr;
-            d();
+bool
+LoopRunner::LoopContext::CdoallStream::next(Op &op)
+{
+    while (_queue.empty()) {
+        if (_done || !refill()) {
+            _done = true;
+            return false;
         }
     }
+    op = _queue.front();
+    _queue.pop_front();
+    return true;
+}
+
+bool
+LoopRunner::LoopContext::CdoallStream::refill()
+{
+    machine::CedarMachine &m = _ctx.runner._machine;
+    if (!_dropped && _ctx.next_iter < _ctx.n_iters) {
+        FaultInjector *f = m.faults();
+        if (f && _ctx.alive > 1 && f->ceDropout()) {
+            // This CE leaves the gang; the shared counter hands its
+            // iterations to the survivors.
+            _dropped = true;
+            --_ctx.alive;
+            m.runtimeStats().dropped_ces.inc();
+        } else {
+            unsigned iter = _ctx.next_iter++;
+            _queue.push_back(Op::makeScalar(_dispatch + _body_call));
+            _ctx.body(iter, _ce, _queue);
+            m.sim().noteProgress();
+            return true;
+        }
+    }
+    if (_joined)
+        return false;
+    // Exhausted (or dropped out): join at the concurrency-bus barrier
+    // once. A dead CE still reports — see the class comment.
+    _joined = true;
+    _queue.push_back(Op::makeBarrier(_barrier_id));
+    return true;
+}
+
+bool
+LoopRunner::LoopContext::StaticChunkStream::next(Op &op)
+{
+    while (_queue.empty()) {
+        if (_pos >= _hi)
+            return false;
+        _queue.push_back(Op::makeScalar(_body_call));
+        _ctx.body(_pos++, _ce, _queue);
+    }
+    op = _queue.front();
+    _queue.pop_front();
+    return true;
+}
+
+void
+LoopRunner::LoopContext::startGang()
+{
+    machine::CedarMachine &m = runner._machine;
+    for (std::size_t i = 0; i < ces.size(); ++i)
+        m.ceAt(ces[i]).run(streams[i].get(), this);
+}
+
+void
+LoopRunner::LoopContext::ceDone()
+{
+    sim_assert(remaining > 0, "loop finished more CEs than it started");
+    if (--remaining > 0)
+        return;
+    // Release before notifying: every CE has detached from its stream,
+    // and the completion handler may immediately launch another loop
+    // that reuses this context.
+    auto d = std::move(done);
+    done = nullptr;
+    LoopDoneListener *listener = done_listener;
+    done_listener = nullptr;
+    runner.releaseContext(this);
+    if (listener)
+        listener->loopDone();
+    else if (d)
+        d();
+}
+
+/**
+ * Launch state for an SDOALL. Each participating cluster gets a slot
+ * whose pump/dispatch steps are member events; the slot listens for
+ * both its serial prologue's CE and its inner CDOALL's join, so the
+ * dispatch cycle runs entirely on reusable objects.
+ */
+struct LoopRunner::SdoallContext
+{
+    explicit SdoallContext(LoopRunner &r) : runner(r) {}
+
+    struct Slot : public cluster::CeDoneListener, public LoopDoneListener
+    {
+        explicit Slot(SdoallContext &c)
+            : ctx(c), pump_event(*this), dispatch_event(*this)
+        {
+        }
+
+        /** Fetch the next iteration for this cluster. */
+        class PumpEvent : public Event
+        {
+          public:
+            explicit PumpEvent(Slot &slot)
+                : Event(EventPriority::normal), _slot(slot)
+            {
+            }
+
+            void process() override { _slot.pump(); }
+            const char *description() const override
+            {
+                return "sdoall.pump";
+            }
+
+          private:
+            Slot &_slot;
+        };
+
+        /** Start the fetched iteration's work on the cluster. */
+        class DispatchEvent : public Event
+        {
+          public:
+            explicit DispatchEvent(Slot &slot)
+                : Event(EventPriority::normal), _slot(slot)
+            {
+            }
+
+            void process() override { _slot.dispatch(); }
+            const char *description() const override
+            {
+                return "sdoall.dispatch";
+            }
+
+          private:
+            Slot &_slot;
+        };
+
+        void pump();
+        void dispatch();
+        void runInner();
+
+        /** CeDoneListener: the serial prologue finished. */
+        void ceDone() override { runInner(); }
+
+        /** LoopDoneListener: the inner CDOALL joined. */
+        void loopDone() override { pump(); }
+
+        SdoallContext &ctx;
+        unsigned cluster = 0;
+        SdoallIteration work;
+        ProgramStream serial_stream;
+        PumpEvent pump_event;
+        DispatchEvent dispatch_event;
+    };
+
+    void finish();
+
+    LoopRunner &runner;
+    SdoallBody body;
+    unsigned next = 0;
+    unsigned n = 0;
+    unsigned idle = 0;
+    unsigned num_clusters = 0;
+    std::function<void()> done;
+    /** One slot per participating cluster; kept across launches. */
+    std::vector<std::unique_ptr<Slot>> slots;
 };
+
+void
+LoopRunner::SdoallContext::Slot::pump()
+{
+    LoopRunner &r = ctx.runner;
+    machine::CedarMachine &m = r._machine;
+    if (ctx.next >= ctx.n) {
+        if (++ctx.idle == ctx.num_clusters)
+            ctx.finish();
+        return;
+    }
+    unsigned iter = ctx.next++;
+    m.runtimeStats().sdoall_dispatches.inc();
+    m.sim().noteProgress();
+    m.postEvent(m.sim().curTick(), Signal::loop_dispatch, iter);
+    DPRINTFN(Loops, m.sim().curTick(), "cedar.runtime",
+             "SDOALL iteration ", iter, " -> cluster ", cluster);
+    work = ctx.body(iter, cluster);
+    // Iteration dispatch goes through global memory, like XDOALL
+    // fetches but for a whole cluster.
+    Cycles fetch =
+        r._params.xdoall_fetch_software + m.gm().minReadLatency();
+    m.sim().schedule(dispatch_event, m.sim().curTick() + fetch);
+}
+
+void
+LoopRunner::SdoallContext::Slot::dispatch()
+{
+    if (work.serial_cycles > 0) {
+        serial_stream = ProgramStream(
+            std::vector<Op>{Op::makeScalar(work.serial_cycles)});
+        ctx.runner._machine.clusterAt(cluster).ce(0).run(
+            &serial_stream, static_cast<cluster::CeDoneListener *>(this));
+    } else {
+        runInner();
+    }
+}
+
+void
+LoopRunner::SdoallContext::Slot::runInner()
+{
+    if (work.inner_iters > 0) {
+        ctx.runner.cdoallAsync(cluster, work.inner_iters, work.inner_body,
+                               static_cast<LoopDoneListener *>(this));
+    } else {
+        pump();
+    }
+}
+
+void
+LoopRunner::SdoallContext::finish()
+{
+    // Release before notifying, as with LoopContext::ceDone().
+    auto d = std::move(done);
+    done = nullptr;
+    runner.releaseSdoallContext(this);
+    if (d)
+        d();
+}
 
 LoopRunner::LoopRunner(machine::CedarMachine &m,
                        const RuntimeParams &params)
@@ -297,23 +610,100 @@ LoopRunner::LoopRunner(machine::CedarMachine &m,
 {
 }
 
+LoopRunner::~LoopRunner() = default;
+
+LoopRunner::LoopContext &
+LoopRunner::acquireContext()
+{
+    LoopContext *ctx;
+    if (!_free_contexts.empty()) {
+        ctx = _free_contexts.back();
+        _free_contexts.pop_back();
+    } else {
+        _contexts.push_back(std::make_unique<LoopContext>(*this));
+        ctx = _contexts.back().get();
+    }
+    ctx->body = nullptr;
+    ctx->params = _params;
+    ctx->xdoall_shared = XdoallStream::Shared{};
+    ctx->streams.clear();
+    ctx->ces.clear();
+    ctx->remaining = 0;
+    ctx->done = nullptr;
+    ctx->done_listener = nullptr;
+    ctx->next_iter = 0;
+    ctx->n_iters = 0;
+    ctx->alive = 0;
+    return *ctx;
+}
+
+void
+LoopRunner::releaseContext(LoopContext *ctx)
+{
+    _free_contexts.push_back(ctx);
+}
+
+LoopRunner::SdoallContext &
+LoopRunner::acquireSdoallContext()
+{
+    SdoallContext *ctx;
+    if (!_free_sdoall_contexts.empty()) {
+        ctx = _free_sdoall_contexts.back();
+        _free_sdoall_contexts.pop_back();
+    } else {
+        _sdoall_contexts.push_back(std::make_unique<SdoallContext>(*this));
+        ctx = _sdoall_contexts.back().get();
+    }
+    ctx->body = nullptr;
+    ctx->next = 0;
+    ctx->n = 0;
+    ctx->idle = 0;
+    ctx->num_clusters = 0;
+    ctx->done = nullptr;
+    return *ctx;
+}
+
+void
+LoopRunner::releaseSdoallContext(SdoallContext *ctx)
+{
+    _free_sdoall_contexts.push_back(ctx);
+}
+
 void
 LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
                         IterationBody body, std::function<void()> done,
                         unsigned num_ces)
+{
+    launchCdoall(cluster_idx, n_iters, std::move(body), std::move(done),
+                 nullptr, num_ces);
+}
+
+void
+LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
+                        IterationBody body, LoopDoneListener *done,
+                        unsigned num_ces)
+{
+    launchCdoall(cluster_idx, n_iters, std::move(body), nullptr, done,
+                 num_ces);
+}
+
+void
+LoopRunner::launchCdoall(unsigned cluster_idx, unsigned n_iters,
+                         IterationBody body, std::function<void()> done,
+                         LoopDoneListener *listener, unsigned num_ces)
 {
     auto &cl = _machine.clusterAt(cluster_idx);
     unsigned n_ces = num_ces ? num_ces : cl.numCes();
     sim_assert(n_ces <= cl.numCes(), "cluster has only ", cl.numCes(),
                " CEs");
 
-    auto ctx = std::make_shared<LoopContext>();
-    ctx->body = std::move(body);
-    ctx->params = _params;
-    ctx->remaining = n_ces;
-    ctx->done = std::move(done);
-    ctx->n_iters = n_iters;
-    ctx->alive = n_ces;
+    LoopContext &ctx = acquireContext();
+    ctx.body = std::move(body);
+    ctx.remaining = n_ces;
+    ctx.done = std::move(done);
+    ctx.done_listener = listener;
+    ctx.n_iters = n_iters;
+    ctx.alive = n_ces;
 
     unsigned barrier_id = cl.newBarrier(n_ces);
     Cycles dispatch =
@@ -323,39 +713,9 @@ LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
     unsigned first_ce = cluster_idx * _machine.config().cluster.num_ces;
     for (unsigned i = 0; i < n_ces; ++i) {
         unsigned global_ce = first_ce + i;
-        LoopContext *raw = ctx.get();
-        auto stream = std::make_unique<GeneratorStream>(
-            [raw, global_ce, dispatch, body_call, barrier_id,
-             m = &_machine, joined = false,
-             dropped = false](std::deque<Op> &out) mutable {
-                if (!dropped && raw->next_iter < raw->n_iters) {
-                    FaultInjector *f = m->faults();
-                    if (f && raw->alive > 1 && f->ceDropout()) {
-                        // This CE leaves the gang; the shared counter
-                        // hands its iterations to the survivors.
-                        dropped = true;
-                        --raw->alive;
-                        m->runtimeStats().dropped_ces.inc();
-                    } else {
-                        unsigned iter = raw->next_iter++;
-                        out.push_back(
-                            Op::makeScalar(dispatch + body_call));
-                        raw->body(iter, global_ce, out);
-                        m->sim().noteProgress();
-                        return true;
-                    }
-                }
-                if (joined)
-                    return false;
-                // Exhausted (or dropped out): join at the
-                // concurrency-bus barrier once. A dead CE still
-                // reports — the CCB signals its drop-out — so the
-                // survivors' join is never left short.
-                joined = true;
-                out.push_back(Op::makeBarrier(barrier_id));
-                return true;
-            });
-        ctx->streams.push_back(std::move(stream));
+        ctx.ces.push_back(global_ce);
+        ctx.streams.push_back(std::make_unique<LoopContext::CdoallStream>(
+            ctx, global_ce, dispatch, body_call, barrier_id));
     }
 
     _machine.runtimeStats().cdoall_starts.inc();
@@ -368,12 +728,7 @@ LoopRunner::cdoallAsync(unsigned cluster_idx, unsigned n_iters,
 
     // Gang start over the concurrency control bus.
     Tick start_at = cl.ccb().concurrentStart(_machine.sim().curTick());
-    _machine.sim().schedule(start_at, [this, ctx, cluster_idx, n_ces] {
-        for (unsigned i = 0; i < n_ces; ++i) {
-            auto &ce = _machine.clusterAt(cluster_idx).ce(i);
-            ce.run(ctx->streams[i].get(), [ctx] { ctx->ceFinished(); });
-        }
-    });
+    _machine.sim().schedule(ctx.start_event, start_at);
 }
 
 void
@@ -381,50 +736,60 @@ LoopRunner::xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
                         IterationBody body, std::function<void()> done,
                         Schedule sched)
 {
+    launchXdoall(std::move(ces), n_iters, std::move(body), std::move(done),
+                 nullptr, sched);
+}
+
+void
+LoopRunner::xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
+                        IterationBody body, LoopDoneListener *done,
+                        Schedule sched)
+{
+    launchXdoall(std::move(ces), n_iters, std::move(body), nullptr, done,
+                 sched);
+}
+
+void
+LoopRunner::launchXdoall(std::vector<unsigned> ces, unsigned n_iters,
+                         IterationBody body, std::function<void()> done,
+                         LoopDoneListener *listener, Schedule sched)
+{
     sim_assert(!ces.empty(), "XDOALL needs at least one CE");
-    auto ctx = std::make_shared<LoopContext>();
-    ctx->body = std::move(body);
-    ctx->params = _params;
-    ctx->remaining = static_cast<unsigned>(ces.size());
-    ctx->done = std::move(done);
-    ctx->n_iters = n_iters;
+    LoopContext &ctx = acquireContext();
+    ctx.body = std::move(body);
+    ctx.remaining = static_cast<unsigned>(ces.size());
+    ctx.done = std::move(done);
+    ctx.done_listener = listener;
+    ctx.n_iters = n_iters;
+    ctx.ces = std::move(ces);
 
     if (sched == Schedule::self_scheduled) {
         Addr cells = _machine.allocGlobal(2);
-        ctx->xdoall_shared = XdoallStream::Shared{
+        ctx.xdoall_shared = XdoallStream::Shared{
             cells, cells + 1, n_iters,
-            static_cast<unsigned>(ces.size())};
+            static_cast<unsigned>(ctx.ces.size())};
         _machine.gm().pokeCell(cells, 0);
         _machine.gm().pokeCell(cells + 1, 0);
-        for (unsigned ce : ces) {
-            ctx->streams.push_back(std::make_unique<XdoallStream>(
-                &_machine, &ctx->xdoall_shared, ce, &ctx->body,
-                &ctx->params));
+        for (unsigned ce : ctx.ces) {
+            ctx.streams.push_back(std::make_unique<XdoallStream>(
+                &_machine, &ctx.xdoall_shared, ce, &ctx.body,
+                &ctx.params));
         }
     } else {
         // Static chunking pre-assigns the iteration space, so there is
         // no redistribution mechanism: CE drop-out is a self-scheduling
-        // feature and is not rolled here.
-        // Static chunking: iteration space pre-split into equal pieces.
-        unsigned p = static_cast<unsigned>(ces.size());
+        // feature and is not rolled here. The space is pre-split into
+        // equal pieces.
+        unsigned p = static_cast<unsigned>(ctx.ces.size());
         for (unsigned idx = 0; idx < p; ++idx) {
             unsigned lo = static_cast<unsigned>(
                 (std::uint64_t(n_iters) * idx) / p);
             unsigned hi = static_cast<unsigned>(
                 (std::uint64_t(n_iters) * (idx + 1)) / p);
-            unsigned global_ce = ces[idx];
-            LoopContext *raw = ctx.get();
-            Cycles body_call = _params.body_call_overhead;
-            auto stream = std::make_unique<GeneratorStream>(
-                [raw, global_ce, body_call, lo, hi,
-                 pos = lo](std::deque<Op> &out) mutable {
-                    if (pos >= hi)
-                        return false;
-                    out.push_back(Op::makeScalar(body_call));
-                    raw->body(pos++, global_ce, out);
-                    return true;
-                });
-            ctx->streams.push_back(std::move(stream));
+            ctx.streams.push_back(
+                std::make_unique<LoopContext::StaticChunkStream>(
+                    ctx, ctx.ces[idx], _params.body_call_overhead, lo,
+                    hi));
         }
     }
 
@@ -433,18 +798,13 @@ LoopRunner::xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
     _machine.postEvent(_machine.sim().curTick(), Signal::loop_xdoall,
                        n_iters);
     DPRINTFN(Loops, _machine.sim().curTick(), "cedar.runtime",
-             "XDOALL iters=", n_iters, " ces=", ces.size(), " sched=",
+             "XDOALL iters=", n_iters, " ces=", ctx.ces.size(), " sched=",
              sched == Schedule::self_scheduled ? "self" : "static");
 
     // XDOALL processors get started through global memory: the gang is
     // live one startup latency after launch.
     Tick start_at = _machine.sim().curTick() + _params.xdoall_startup;
-    _machine.sim().schedule(start_at, [this, ctx, ces] {
-        for (std::size_t i = 0; i < ces.size(); ++i) {
-            _machine.ceAt(ces[i]).run(ctx->streams[i].get(),
-                                      [ctx] { ctx->ceFinished(); });
-        }
-    });
+    _machine.sim().schedule(ctx.start_event, start_at);
 }
 
 void
@@ -452,71 +812,13 @@ LoopRunner::sdoallAsync(std::vector<unsigned> clusters, unsigned n_iters,
                         SdoallBody body, std::function<void()> done)
 {
     sim_assert(!clusters.empty(), "SDOALL needs at least one cluster");
-    struct SdoallCtx
-    {
-        SdoallBody body;
-        unsigned next = 0;
-        unsigned n = 0;
-        unsigned idle = 0;
-        unsigned num_clusters = 0;
-        std::function<void()> done;
-        std::vector<std::unique_ptr<OpStream>> serial_streams;
-    };
-    auto ctx = std::make_shared<SdoallCtx>();
-    ctx->body = std::move(body);
-    ctx->n = n_iters;
-    ctx->num_clusters = static_cast<unsigned>(clusters.size());
-    ctx->done = std::move(done);
-
-    // Per-cluster dispatch pump: fetch an iteration, run its serial
-    // prologue on the cluster's first CE, run the inner CDOALL, repeat.
-    auto pump = std::make_shared<std::function<void(unsigned)>>();
-    *pump = [this, ctx, pump](unsigned cluster_idx) {
-        if (ctx->next >= ctx->n) {
-            if (++ctx->idle == ctx->num_clusters && ctx->done) {
-                auto d = std::move(ctx->done);
-                ctx->done = nullptr;
-                d();
-            }
-            return;
-        }
-        unsigned iter = ctx->next++;
-        _machine.runtimeStats().sdoall_dispatches.inc();
-        _machine.sim().noteProgress();
-        _machine.postEvent(_machine.sim().curTick(),
-                           Signal::loop_dispatch, iter);
-        DPRINTFN(Loops, _machine.sim().curTick(), "cedar.runtime",
-                 "SDOALL iteration ", iter, " -> cluster ", cluster_idx);
-        SdoallIteration work = ctx->body(iter, cluster_idx);
-        // Iteration dispatch goes through global memory, like XDOALL
-        // fetches but for a whole cluster.
-        Cycles fetch = _params.xdoall_fetch_software +
-                       _machine.gm().minReadLatency();
-        Tick start = _machine.sim().curTick() + fetch;
-        auto run_inner = [this, ctx, pump, cluster_idx, work] {
-            if (work.inner_iters > 0) {
-                cdoallAsync(cluster_idx, work.inner_iters,
-                            work.inner_body,
-                            [pump, cluster_idx] { (*pump)(cluster_idx); });
-            } else {
-                (*pump)(cluster_idx);
-            }
-        };
-        if (work.serial_cycles > 0) {
-            auto serial = std::make_unique<ProgramStream>(
-                std::vector<Op>{Op::makeScalar(work.serial_cycles)});
-            OpStream *serial_raw = serial.get();
-            ctx->serial_streams.push_back(std::move(serial));
-            _machine.sim().schedule(start, [this, cluster_idx, serial_raw,
-                                            run_inner] {
-                _machine.clusterAt(cluster_idx)
-                    .ce(0)
-                    .run(serial_raw, run_inner);
-            });
-        } else {
-            _machine.sim().schedule(start, run_inner);
-        }
-    };
+    SdoallContext &ctx = acquireSdoallContext();
+    ctx.body = std::move(body);
+    ctx.n = n_iters;
+    ctx.num_clusters = static_cast<unsigned>(clusters.size());
+    ctx.done = std::move(done);
+    while (ctx.slots.size() < clusters.size())
+        ctx.slots.push_back(std::make_unique<SdoallContext::Slot>(ctx));
 
     _machine.runtimeStats().sdoall_starts.inc();
     _machine.runtimeStats().iterations.inc(n_iters);
@@ -526,8 +828,10 @@ LoopRunner::sdoallAsync(std::vector<unsigned> clusters, unsigned n_iters,
              "SDOALL iters=", n_iters, " clusters=", clusters.size());
 
     Tick start_at = _machine.sim().curTick() + _params.sdoall_startup;
-    for (unsigned c : clusters) {
-        _machine.sim().schedule(start_at, [pump, c] { (*pump)(c); });
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+        SdoallContext::Slot &slot = *ctx.slots[i];
+        slot.cluster = clusters[i];
+        _machine.sim().schedule(slot.pump_event, start_at);
     }
 }
 

@@ -40,12 +40,29 @@ using IterationBody =
     std::function<void(unsigned iter, unsigned global_ce,
                        std::deque<Op> &out)>;
 
-/** Orchestrates parallel loops on a CedarMachine. */
+/** Notified at loop join (the allocation-free form of `done`). */
+class LoopDoneListener
+{
+  public:
+    virtual ~LoopDoneListener() = default;
+    virtual void loopDone() = 0;
+};
+
+/**
+ * Orchestrates parallel loops on a CedarMachine.
+ *
+ * Internally every launch runs on a pooled LoopContext whose gang
+ * start, per-CE completion, and SDOALL pump/dispatch steps are event
+ * objects and interface calls — the engine-facing paths allocate no
+ * closures. The public API keeps std::function conveniences; the
+ * listener overloads are the zero-overhead form nested loops use.
+ */
 class LoopRunner
 {
   public:
     explicit LoopRunner(machine::CedarMachine &m,
                         const RuntimeParams &params = RuntimeParams{});
+    ~LoopRunner();
 
     machine::CedarMachine &machineRef() { return _machine; }
     const RuntimeParams &params() const { return _params; }
@@ -62,9 +79,19 @@ class LoopRunner
                      IterationBody body, std::function<void()> done,
                      unsigned num_ces = 0);
 
+    /** Listener form of cdoallAsync (no closure allocation at join). */
+    void cdoallAsync(unsigned cluster_idx, unsigned n_iters,
+                     IterationBody body, LoopDoneListener *done,
+                     unsigned num_ces = 0);
+
     /** Launch an XDOALL over an explicit set of machine-wide CEs. */
     void xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
                      IterationBody body, std::function<void()> done,
+                     Schedule sched = Schedule::self_scheduled);
+
+    /** Listener form of xdoallAsync. */
+    void xdoallAsync(std::vector<unsigned> ces, unsigned n_iters,
+                     IterationBody body, LoopDoneListener *done,
                      Schedule sched = Schedule::self_scheduled);
 
     /** What an SDOALL iteration runs on its cluster. */
@@ -106,9 +133,33 @@ class LoopRunner
 
   private:
     struct LoopContext;
+    struct SdoallContext;
+    friend struct LoopContext;
+    friend struct SdoallContext;
+
+    void launchCdoall(unsigned cluster_idx, unsigned n_iters,
+                      IterationBody body, std::function<void()> done,
+                      LoopDoneListener *listener, unsigned num_ces);
+    void launchXdoall(std::vector<unsigned> ces, unsigned n_iters,
+                      IterationBody body, std::function<void()> done,
+                      LoopDoneListener *listener, Schedule sched);
+
+    LoopContext &acquireContext();
+    void releaseContext(LoopContext *ctx);
+    SdoallContext &acquireSdoallContext();
+    void releaseSdoallContext(SdoallContext *ctx);
 
     machine::CedarMachine &_machine;
     RuntimeParams _params;
+
+    /**
+     * Pooled launch state: a finished loop's context (and its event
+     * objects) is recycled by the next launch instead of reallocated.
+     */
+    std::vector<std::unique_ptr<LoopContext>> _contexts;
+    std::vector<LoopContext *> _free_contexts;
+    std::vector<std::unique_ptr<SdoallContext>> _sdoall_contexts;
+    std::vector<SdoallContext *> _free_sdoall_contexts;
 };
 
 } // namespace cedar::runtime

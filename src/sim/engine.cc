@@ -1,14 +1,145 @@
 /**
  * @file
- * Event loop implementation for the Simulation class.
+ * Event loop, intrusive heap maintenance, and the CallbackEvent pool.
  */
 
 #include "engine.hh"
+
+#include <chrono>
+#include <utility>
 
 #include "error.hh"
 #include "trace.hh"
 
 namespace cedar {
+
+std::uint64_t Simulation::s_global_events = 0;
+std::uint64_t Simulation::s_global_host_ns = 0;
+
+Event::~Event()
+{
+    // A component being torn down may still have its events queued;
+    // unlink them so the engine never touches freed memory. The
+    // simulation outlives its components in every machine, so _sim is
+    // valid here.
+    if (scheduled())
+        _sim->deschedule(*this);
+}
+
+void
+CallbackEvent::process()
+{
+    // Return to the pool before running: the callback may schedule
+    // more one-shots and is welcome to reuse this node immediately.
+    EventFunc fn = std::move(_fn);
+    _fn = nullptr;
+    _owner.releaseCallback(this);
+    fn();
+}
+
+Simulation::~Simulation()
+{
+    // Unlink anything still queued so Event destructors running after
+    // this (pool nodes, or component events destroyed later) see a
+    // consistent heap.
+    while (!_heap.empty())
+        popTop();
+}
+
+void
+Simulation::siftUp(std::size_t i)
+{
+    Event *ev = _heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!before(ev, _heap[parent]))
+            break;
+        _heap[i] = _heap[parent];
+        _heap[i]->_heap_index = i;
+        i = parent;
+    }
+    _heap[i] = ev;
+    ev->_heap_index = i;
+}
+
+void
+Simulation::siftDown(std::size_t i)
+{
+    Event *ev = _heap[i];
+    const std::size_t n = _heap.size();
+    while (true) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(_heap[child + 1], _heap[child]))
+            ++child;
+        if (!before(_heap[child], ev))
+            break;
+        _heap[i] = _heap[child];
+        _heap[i]->_heap_index = i;
+        i = child;
+    }
+    _heap[i] = ev;
+    ev->_heap_index = i;
+}
+
+Event *
+Simulation::popTop()
+{
+    Event *ev = _heap.front();
+    Event *last = _heap.back();
+    _heap.pop_back();
+    ev->_heap_index = Event::unscheduled_index;
+    ev->_sim = nullptr;
+    if (!_heap.empty()) {
+        _heap[0] = last;
+        last->_heap_index = 0;
+        siftDown(0);
+    }
+    return ev;
+}
+
+void
+Simulation::deschedule(Event &ev)
+{
+    sim_assert(ev.scheduled(), "descheduling idle event '",
+               ev.description(), "'");
+    sim_assert(ev._sim == this, "event '", ev.description(),
+               "' is scheduled on a different simulation");
+    std::size_t i = ev._heap_index;
+    Event *last = _heap.back();
+    _heap.pop_back();
+    ev._heap_index = Event::unscheduled_index;
+    ev._sim = nullptr;
+    if (last != &ev) {
+        _heap[i] = last;
+        last->_heap_index = i;
+        // The replacement may need to move either direction.
+        siftDown(i);
+        siftUp(i);
+    }
+}
+
+CallbackEvent *
+Simulation::acquireCallback()
+{
+    if (_free_callbacks) {
+        CallbackEvent *ev = _free_callbacks;
+        _free_callbacks = ev->_free_next;
+        ev->_free_next = nullptr;
+        ++_pool_reuses;
+        return ev;
+    }
+    _pool.emplace_back(new CallbackEvent(*this));
+    return _pool.back().get();
+}
+
+void
+Simulation::releaseCallback(CallbackEvent *ev)
+{
+    ev->_free_next = _free_callbacks;
+    _free_callbacks = ev;
+}
 
 Tick
 Simulation::run()
@@ -16,40 +147,67 @@ Simulation::run()
     return runUntil(max_tick);
 }
 
+namespace {
+
+/** Accumulates run-loop wall time on every exit path, throws included. */
+struct HostTimeScope
+{
+    explicit HostTimeScope(std::uint64_t &sink, std::uint64_t &global)
+        : _sink(sink), _global(global),
+          _start(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~HostTimeScope()
+    {
+        auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - _start)
+                      .count();
+        _sink += static_cast<std::uint64_t>(ns);
+        _global += static_cast<std::uint64_t>(ns);
+    }
+
+    std::uint64_t &_sink;
+    std::uint64_t &_global;
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace
+
 Tick
 Simulation::runUntil(Tick limit)
 {
     _stop_requested = false;
+    HostTimeScope host_time(_host_ns, s_global_host_ns);
+    std::uint64_t events_at_entry = _events_executed;
     if (_watchdog)
         _watchdog->onRunStart(_now);
-    while (!_queue.empty() && !_stop_requested) {
-        const QueuedEvent &top = _queue.top();
-        if (top.when > limit) {
+    while (!_heap.empty() && !_stop_requested) {
+        if (_heap.front()->_when > limit) {
             // Leave future events queued; advance time to the horizon so
             // repeated runUntil() calls compose naturally.
             _now = limit;
+            s_global_events += _events_executed - events_at_entry;
             return _now;
         }
-        // Copy out before pop: the callback may schedule new events and
-        // reallocate the underlying heap storage.
-        QueuedEvent ev = std::move(const_cast<QueuedEvent &>(top));
-        _queue.pop();
-        _now = ev.when;
+        Event *ev = popTop();
+        _now = ev->_when;
         setCurrentErrorTick(_now);
         ++_events_executed;
-        DPRINTFN(Engine, _now, "sim", "event #", _events_executed,
-                 " fires");
+        DPRINTFN(Engine, _now, "sim", "event #", _events_executed, " '",
+                 ev->description(), "' fires");
         if (_event_limit && _events_executed > _event_limit) {
             panic("event limit of ", _event_limit,
                   " exceeded at tick ", _now,
                   "; runaway simulation suspected");
         }
-        ev.fn();
+        ev->process();
         if (_watchdog)
             _watchdog->onEvent(_now);
     }
-    if (_watchdog && _queue.empty() && !_stop_requested)
+    if (_watchdog && _heap.empty() && !_stop_requested)
         _watchdog->onDrain(_now);
+    s_global_events += _events_executed - events_at_entry;
     return _now;
 }
 

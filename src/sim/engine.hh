@@ -2,9 +2,13 @@
  * @file
  * The discrete-event simulation engine.
  *
- * A Simulation owns a time-ordered event queue. Components schedule
- * callbacks at absolute ticks; ties are broken first by an explicit
- * priority and then by insertion order, so runs are fully deterministic.
+ * A Simulation owns a time-ordered queue of Event objects (see
+ * event.hh). Components schedule their member events at absolute
+ * ticks; ties are broken first by an explicit priority and then by
+ * insertion order, so runs are fully deterministic. The queue is an
+ * intrusive binary heap of Event pointers — scheduling a component's
+ * member event allocates nothing, and one-shot closures ride on a
+ * free-list-recycled CallbackEvent pool.
  */
 
 #ifndef CEDARSIM_SIM_ENGINE_HH
@@ -12,27 +16,18 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "event.hh"
 #include "logging.hh"
 #include "types.hh"
 #include "watchdog.hh"
 
 namespace cedar {
 
-/** Callback type executed when an event fires. */
+/** Callback type executed when a one-shot pooled event fires. */
 using EventFunc = std::function<void()>;
-
-/** Scheduling priorities for same-tick ordering. Lower runs first. */
-enum class EventPriority : int
-{
-    memory_response = -2, ///< data arrivals before consumers poll
-    network = -1,         ///< network movement before CE progress
-    normal = 0,           ///< default component activity
-    ce_progress = 1,      ///< CE state-machine advancement
-    stats = 2,            ///< end-of-tick statistics sampling
-};
 
 /**
  * Discrete-event simulator core. One instance per simulated machine;
@@ -44,12 +39,55 @@ class Simulation
     Simulation() = default;
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
+    ~Simulation();
 
     /** Current simulated time in CE cycles. */
     Tick curTick() const { return _now; }
 
     /**
-     * Schedule a callback at an absolute tick.
+     * Schedule an event object at an absolute tick. The event must not
+     * already be scheduled; its priority was fixed at construction.
+     * Allocation-free: the event links into the queue intrusively.
+     * @param ev   event to link in (must outlive its firing)
+     * @param when absolute tick, must be >= curTick()
+     */
+    void
+    schedule(Event &ev, Tick when)
+    {
+        sim_assert(!ev.scheduled(), "event '", ev.description(),
+                   "' is already scheduled for tick ", ev._when);
+        sim_assert(when >= _now, "event scheduled in the past: when=", when,
+                   " now=", _now);
+        ev._when = when;
+        ev._seq = _next_seq++;
+        ev._sim = this;
+        ev._heap_index = _heap.size();
+        _heap.push_back(&ev);
+        siftUp(_heap.size() - 1);
+    }
+
+    /** Schedule an event object a relative number of cycles ahead. */
+    void scheduleIn(Event &ev, Cycles delta) { schedule(ev, _now + delta); }
+
+    /** Unlink a scheduled event; it will not fire. */
+    void deschedule(Event &ev);
+
+    /**
+     * Move an event to a new tick (scheduling it if idle). The event
+     * re-enters insertion order: it ties after anything already
+     * scheduled for the same (when, priority).
+     */
+    void
+    reschedule(Event &ev, Tick when)
+    {
+        if (ev.scheduled())
+            deschedule(ev);
+        schedule(ev, when);
+    }
+
+    /**
+     * Schedule a one-shot callback at an absolute tick. Backed by the
+     * CallbackEvent pool: steady state reuses freed nodes.
      * @param when absolute tick, must be >= curTick()
      * @param fn   callback to run
      * @param prio same-tick ordering class
@@ -58,13 +96,13 @@ class Simulation
     schedule(Tick when, EventFunc fn,
              EventPriority prio = EventPriority::normal)
     {
-        sim_assert(when >= _now, "event scheduled in the past: when=", when,
-                   " now=", _now);
-        _queue.push(QueuedEvent{when, static_cast<int>(prio), _next_seq++,
-                                std::move(fn)});
+        CallbackEvent *ev = acquireCallback();
+        ev->_fn = std::move(fn);
+        ev->_priority = static_cast<int>(prio);
+        schedule(*ev, when);
     }
 
-    /** Schedule a callback a relative number of cycles in the future. */
+    /** Schedule a one-shot callback a relative number of cycles ahead. */
     void
     scheduleIn(Cycles delta, EventFunc fn,
                EventPriority prio = EventPriority::normal)
@@ -85,10 +123,33 @@ class Simulation
     void stop() { _stop_requested = true; }
 
     /** True once the event queue is empty. */
-    bool empty() const { return _queue.empty(); }
+    bool empty() const { return _heap.empty(); }
 
     /** Number of events executed so far (for performance reporting). */
     std::uint64_t eventsExecuted() const { return _events_executed; }
+
+    /** Wall-clock seconds this engine has spent inside run loops. */
+    double hostSeconds() const { return _host_ns * 1e-9; }
+
+    /** Events dispatched per host second (0 before any run). */
+    double
+    hostEventRate() const
+    {
+        double s = hostSeconds();
+        return s > 0.0 ? static_cast<double>(_events_executed) / s : 0.0;
+    }
+
+    /** CallbackEvent nodes ever allocated by this engine's pool. */
+    std::size_t callbackPoolAllocated() const { return _pool.size(); }
+
+    /** One-shot schedules served by recycling a freed pool node. */
+    std::uint64_t callbackPoolReuses() const { return _pool_reuses; }
+
+    /** Events executed by every Simulation in this process. */
+    static std::uint64_t globalEventsExecuted() { return s_global_events; }
+
+    /** Host seconds spent in run loops by every Simulation. */
+    static double globalHostSeconds() { return s_global_host_ns * 1e-9; }
 
     /** Guard against runaway simulations; 0 disables the limit. */
     void setEventLimit(std::uint64_t limit) { _event_limit = limit; }
@@ -112,34 +173,47 @@ class Simulation
     }
 
   private:
-    struct QueuedEvent
-    {
-        Tick when;
-        int priority;
-        std::uint64_t seq;
-        EventFunc fn;
-    };
+    friend class Event;
+    friend class CallbackEvent;
 
-    struct Later
+    /** Strict ordering: does @p a fire before @p b? */
+    static bool
+    before(const Event *a, const Event *b)
     {
-        bool
-        operator()(const QueuedEvent &a, const QueuedEvent &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
-    };
+        if (a->_when != b->_when)
+            return a->_when < b->_when;
+        if (a->_priority != b->_priority)
+            return a->_priority < b->_priority;
+        return a->_seq < b->_seq;
+    }
 
-    std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> _queue;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Remove and return the next event to fire (queue must be non-empty). */
+    Event *popTop();
+
+    CallbackEvent *acquireCallback();
+    void releaseCallback(CallbackEvent *ev);
+
+    /** Intrusive min-heap on (when, priority, seq). */
+    std::vector<Event *> _heap;
     Tick _now = 0;
     std::uint64_t _next_seq = 0;
     std::uint64_t _events_executed = 0;
     std::uint64_t _event_limit = 0;
     bool _stop_requested = false;
     Watchdog *_watchdog = nullptr;
+
+    /** CallbackEvent pool: owned storage plus an intrusive free list. */
+    std::vector<std::unique_ptr<CallbackEvent>> _pool;
+    CallbackEvent *_free_callbacks = nullptr;
+    std::uint64_t _pool_reuses = 0;
+
+    /** Host-time accounting, per engine and process-wide. */
+    std::uint64_t _host_ns = 0;
+    static std::uint64_t s_global_events;
+    static std::uint64_t s_global_host_ns;
 };
 
 } // namespace cedar

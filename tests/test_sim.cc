@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "machine/cedar.hh"
+#include "runtime/loops.hh"
 #include "sim/engine.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -171,4 +173,207 @@ TEST(Rng, UniformInRange)
         EXPECT_LT(u, 1.0);
         EXPECT_LT(r.below(17), 17u);
     }
+}
+
+// ----------------------------------------------------------- event objects
+
+namespace {
+
+/** Records its id into a shared log when fired. */
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<int> &log, int id,
+                   EventPriority prio = EventPriority::normal)
+        : Event(prio), _log(log), _id(id)
+    {
+    }
+
+    void process() override { _log.push_back(_id); }
+    const char *description() const override { return "test.recording"; }
+
+  private:
+    std::vector<int> &_log;
+    int _id;
+};
+
+} // namespace
+
+TEST(EventObjects, ScheduleFireAndStateTransitions)
+{
+    Simulation sim;
+    std::vector<int> log;
+    RecordingEvent ev(log, 1);
+    EXPECT_FALSE(ev.scheduled());
+    sim.schedule(ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 10u);
+    sim.run();
+    EXPECT_FALSE(ev.scheduled());
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    // The object is reusable after firing.
+    sim.schedule(ev, 20);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 1}));
+}
+
+TEST(EventObjects, DescheduledEventNeverFires)
+{
+    Simulation sim;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    sim.schedule(a, 10);
+    sim.schedule(b, 20);
+    sim.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventObjects, RescheduleMovesAndTiesLast)
+{
+    Simulation sim;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    sim.schedule(a, 10);
+    sim.schedule(b, 30);
+    // Moving a to b's tick re-enters insertion order: it now ties
+    // after b despite having been scheduled first.
+    sim.reschedule(a, 30);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    // reschedule() also schedules an idle event.
+    sim.reschedule(a, 40);
+    EXPECT_TRUE(a.scheduled());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1, 1}));
+}
+
+TEST(EventObjects, DestructorDeschedules)
+{
+    Simulation sim;
+    std::vector<int> log;
+    RecordingEvent keeper(log, 1);
+    sim.schedule(keeper, 50);
+    {
+        RecordingEvent doomed(log, 2);
+        sim.schedule(doomed, 10);
+    }
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(sim.curTick(), 50u);
+}
+
+TEST(EventObjects, SameTickMemberEventsOrderedByPriorityThenSeq)
+{
+    Simulation sim;
+    std::vector<int> log;
+    RecordingEvent late(log, 3, EventPriority::stats);
+    RecordingEvent first(log, 1, EventPriority::memory_response);
+    RecordingEvent mid_a(log, 2, EventPriority::normal);
+    RecordingEvent mid_b(log, 4, EventPriority::normal);
+    sim.schedule(late, 10);
+    sim.schedule(mid_a, 10);
+    sim.schedule(first, 10);
+    sim.schedule(mid_b, 10);
+    sim.run();
+    // Priority classes first; equal priorities in insertion order.
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 4, 3}));
+}
+
+TEST(EventObjects, MemberAndCallbackEventsShareOneOrder)
+{
+    Simulation sim;
+    std::vector<int> log;
+    RecordingEvent member(log, 2);
+    sim.schedule(10, [&] { log.push_back(1); });
+    sim.schedule(member, 10);
+    sim.schedule(10, [&] { log.push_back(3); });
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventObjects, CallbackPoolRecyclesNodes)
+{
+    Simulation sim;
+    int fired = 0;
+    // All scheduled up front, so the pool must grow to 100 nodes; the
+    // schedule after the run then recycles instead of growing.
+    for (Tick t = 1; t <= 100; ++t)
+        sim.schedule(t, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(sim.callbackPoolAllocated(), 100u);
+    sim.schedule(200, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(sim.callbackPoolAllocated(), 100u);
+    EXPECT_GE(sim.callbackPoolReuses(), 1u);
+}
+
+TEST(EventObjects, ChainedOneShotsReuseASingleNode)
+{
+    Simulation sim;
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 50)
+            sim.scheduleIn(1, hop);
+    };
+    sim.schedule(1, hop);
+    sim.run();
+    EXPECT_EQ(hops, 50);
+    // Each hop's node is released before the callback runs, so the
+    // whole chain rides one pooled CallbackEvent.
+    EXPECT_EQ(sim.callbackPoolAllocated(), 1u);
+    EXPECT_EQ(sim.callbackPoolReuses(), 49u);
+}
+
+TEST(EventObjects, MachineStatSnapshotsBitIdenticalAcrossRuns)
+{
+    // The golden determinism contract of the event-object engine: two
+    // fresh machines running the same workload — touching every
+    // converted path (CE advance, PFU consumption, CCB barriers,
+    // CDOALL/XDOALL/SDOALL contexts) — must produce bit-identical
+    // stat registries, host-time keys aside.
+    auto run = [] {
+        machine::CedarMachine machine;
+        runtime::LoopRunner runner(machine);
+        Addr data = machine.allocGlobal(256);
+        runner.cdoall(
+            0, 24,
+            [&](unsigned i, unsigned, std::deque<cluster::Op> &out) {
+                out.push_back(cluster::Op::makeVector(
+                    32, cluster::VecSource::cache, 2.0));
+                out.push_back(
+                    cluster::Op::makeGlobalRead(data + (i % 256)));
+            });
+        runner.xdoall(
+            runner.allCes(), 48,
+            [&](unsigned, unsigned, std::deque<cluster::Op> &out) {
+                out.push_back(cluster::Op::makePrefetch(data, 16));
+                out.push_back(
+                    cluster::Op::makeVectorFromPrefetch(16, 0, 2.0));
+            });
+        runner.sdoall(
+            {0, 1}, 6, [](unsigned, unsigned) {
+                runtime::LoopRunner::SdoallIteration it;
+                it.serial_cycles = 50;
+                it.inner_iters = 8;
+                it.inner_body = [](unsigned, unsigned,
+                                   std::deque<cluster::Op> &out) {
+                    out.push_back(cluster::Op::makeScalar(20));
+                };
+                return it;
+            });
+        auto snap = machine.stats().snapshot();
+        snap.erase("cedar.sim.host_seconds");
+        snap.erase("cedar.sim.host_event_rate");
+        return snap;
+    };
+    auto first = run();
+    auto second = run();
+    EXPECT_EQ(first, second);
+    EXPECT_GT(first.at("cedar.sim.events"), 0.0);
+    EXPECT_GT(first.at("cedar.runtime.iterations"), 0.0);
 }
