@@ -1,114 +1,13 @@
 /**
  * @file
- * Network and prefetch design-space ablations for the DESIGN.md
- * calibration decisions, all on the 4-cluster GM/pref rank-64 update
- * (the Table 1 workload most sensitive to the memory system):
- *
- *  - module conflict-extra cycles (the Turner-style arbitration loss
- *    that produces the paper's saturation at 3-4 clusters),
- *  - memory module count at constant peak bandwidth,
- *  - PFU issue pacing (the per-CE 24 MB/s share),
- *  - prefetch block size (compiler 32-word blocks vs the hand RK's
- *    256-word blocks).
+ * Network / prefetch design-space ablations on the 4-cluster GM/pref
+ * rank-64 update. Body: src/valid/scenarios/sc_ablation_network.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
-
-namespace {
-
-double
-rank64Mflops(const machine::CedarConfig &cfg, unsigned prefetch_block,
-             unsigned n = 256)
-{
-    machine::CedarMachine machine(cfg);
-    kernels::Rank64Params params;
-    params.n = n;
-    params.clusters = 4;
-    params.version = kernels::Rank64Version::gm_prefetch;
-    params.prefetch_block = prefetch_block;
-    return kernels::runRank64(machine, params).mflopsRate();
-}
-
-} // namespace
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("ablation_network", argc, argv);
-    std::printf("Network / prefetch ablations (rank-64 GM/pref, 4 "
-                "clusters; paper Table 1 value: 104 MFLOPS)\n\n");
-
-    {
-        core::TableWriter t({"module conflict extra (cycles)", "MFLOPS"});
-        for (Cycles extra : {0u, 1u, 2u, 3u}) {
-            machine::CedarConfig cfg;
-            cfg.gm.module_conflict_extra = extra;
-            double rate = rank64Mflops(cfg, 256);
-            if (extra == 0 || extra == 2) {
-                out.metric("conflict_extra_" + std::to_string(extra) +
-                               "_mflops",
-                           rate);
-            }
-            t.row({core::fmt(extra, 0), core::fmt(rate)});
-        }
-        t.print();
-        std::printf("(the shipped default is 2; 0 is the ideal-fluid "
-                    "network that fails to saturate)\n\n");
-    }
-
-    {
-        core::TableWriter t(
-            {"modules x access cycles", "peak w/cyc", "MFLOPS"});
-        for (auto [mods, access] :
-             {std::pair<unsigned, Cycles>{16, 1}, {32, 2}, {32, 1}}) {
-            machine::CedarConfig cfg;
-            cfg.gm.num_modules = mods;
-            cfg.gm.module_access_cycles = access;
-            t.row({core::fmt(mods, 0) + " x " + core::fmt(access, 0),
-                   core::fmt(double(mods) / access, 0),
-                   core::fmt(rank64Mflops(cfg, 256))});
-        }
-        t.print();
-        std::printf("(32 x 2 matches the 768 MB/s global bandwidth; "
-                    "32 x 1 doubles it)\n\n");
-    }
-
-    {
-        core::TableWriter t({"PFU issue interval", "per-CE MB/s",
-                             "MFLOPS"});
-        for (Cycles interval : {1u, 2u, 3u}) {
-            machine::CedarConfig cfg;
-            cfg.cluster.pfu.issue_interval = interval;
-            double mb =
-                bytes_per_word / (interval * ce_cycle_ns * 1e-9) / 1e6;
-            t.row({core::fmt(interval, 0), core::fmt(mb, 0),
-                   core::fmt(rank64Mflops(cfg, 256))});
-        }
-        t.print();
-        std::printf("(interval 2 realizes the paper's 24 MB/s per "
-                    "processor)\n\n");
-    }
-
-    {
-        core::TableWriter t({"prefetch block (words)", "MFLOPS"});
-        for (unsigned block : {32u, 64u, 128u, 256u}) {
-            machine::CedarConfig cfg;
-            double rate = rank64Mflops(cfg, block);
-            if (block == 32 || block == 256) {
-                out.metric("block_" + std::to_string(block) + "_mflops",
-                           rate);
-            }
-            t.row({core::fmt(block, 0), core::fmt(rate)});
-        }
-        t.print();
-        std::printf("(the hand RK kernel's 256-word blocks amortize the "
-                    "fire/consume pipeline bubbles)\n");
-    }
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("ablation_network", argc, argv);
 }

@@ -1,140 +1,14 @@
 /**
  * @file
- * Runtime-library microbenchmarks and ablations (Section 3.2's stated
- * costs, measured on the simulated machine):
- *
- *  - XDOALL startup (~90 us) and per-iteration fetch (~30 us),
- *  - the same fetch with the Test-And-Set lock protocol instead of
- *    Cedar synchronization (the Table 3 "no sync" ablation),
- *  - CDOALL start through the concurrency control bus (a few us),
- *  - iteration-fetch throughput versus CE count (the sync cell is one
- *    memory module: self-scheduling serializes there).
+ * Section 3.2: runtime-library microbenchmarks and ablations measured
+ * on the simulated machine. Body:
+ * src/valid/scenarios/sc_ablation_runtime.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-#include "runtime/microbench.hh"
-
-using namespace cedar;
-
-namespace {
-
-/** Time an XDOALL of n_iters trivial bodies over the given CEs. */
-double
-xdoallMicros(unsigned ces, unsigned n_iters, bool cedar_sync)
-{
-    machine::CedarMachine machine;
-    runtime::RuntimeParams params;
-    params.use_cedar_sync = cedar_sync;
-    runtime::LoopRunner runner(machine, params);
-    std::vector<unsigned> ce_list;
-    for (unsigned i = 0; i < ces; ++i)
-        ce_list.push_back(i);
-    Tick end = runner.xdoall(
-        ce_list, n_iters,
-        [](unsigned, unsigned, std::deque<cluster::Op> &out) {
-            out.push_back(cluster::Op::makeScalar(10));
-        });
-    return ticksToMicros(end);
-}
-
-} // namespace
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("ablation_runtime", argc, argv);
-    std::printf("Runtime microbenchmarks (measured on the simulated "
-                "machine)\n\n");
-
-    // Startup: an XDOALL with one iteration per CE is dominated by the
-    // global-memory gang start.
-    double t32_1 = xdoallMicros(32, 32, true);
-    // Fetch: add ten iterations per CE; they execute serially on each
-    // CE, so the wall-clock increment divided by ten is the per-CE
-    // per-iteration fetch cost.
-    double t32_11 = xdoallMicros(32, 32 * 11, true);
-    double fetch_per_iter = (t32_11 - t32_1) / 10.0;
-    double t32_11_ns = xdoallMicros(32, 32 * 11, false);
-    double fetch_nosync =
-        (t32_11_ns - xdoallMicros(32, 32, false)) / 10.0;
-
-    std::printf("XDOALL launch-to-join, 1 iteration per CE: %.0f us\n"
-                "  (startup ~90 us + one iteration fetch + one "
-                "exhaustion fetch; paper: ~90 us startup)\n",
-                t32_1);
-    std::printf("XDOALL per-iteration fetch: %.1f us with Cedar sync "
-                "(paper: ~30 us), %.1f us with the lock protocol "
-                "(%.1fx; iterations serialize on the lock)\n",
-                fetch_per_iter, fetch_nosync,
-                fetch_nosync / fetch_per_iter);
-
-    // CDOALL start: concurrency-bus gang start plus bus dispatches.
-    {
-        machine::CedarMachine machine;
-        runtime::LoopRunner runner(machine);
-        Tick end = runner.cdoall(
-            0, 8, [](unsigned, unsigned, std::deque<cluster::Op> &out) {
-                out.push_back(cluster::Op::makeScalar(10));
-            });
-        std::printf("CDOALL start+join for 8 trivial iterations: %.1f "
-                    "us (paper: starts in a few us)\n",
-                    ticksToMicros(end));
-    }
-
-    std::printf("\nself-scheduling fetch throughput vs CE count "
-                "(sync-cell contention):\n");
-    core::TableWriter table({"CEs", "wall us/iter (sync)",
-                             "wall us/iter (lock)", "lock penalty"});
-    for (unsigned ces : {4u, 8u, 16u, 32u}) {
-        unsigned iters = ces * 12;
-        double base = xdoallMicros(ces, ces, true);
-        double with = xdoallMicros(ces, iters, true);
-        double per = (with - base) / (ces * 11.0);
-        double base_l = xdoallMicros(ces, ces, false);
-        double with_l = xdoallMicros(ces, iters, false);
-        double per_l = (with_l - base_l) / (ces * 11.0);
-        table.row({core::fmt(ces, 0), core::fmt(per), core::fmt(per_l),
-                   core::fmt(per_l / per, 2) + "x"});
-    }
-    table.print();
-
-    std::printf("\nmulticluster GM barrier cost vs CE count (the "
-                "FLO52 overhead):\n");
-    {
-        core::TableWriter t({"CEs", "us per barrier episode"});
-        for (unsigned ces : {2u, 8u, 16u, 32u}) {
-            t.row({core::fmt(ces, 0),
-                   core::fmt(runtime::measureGmBarrierMicros(ces))});
-        }
-        t.print();
-    }
-
-    std::printf("\nstatic vs self-scheduled XDOALL (320 x 100-cycle "
-                "bodies, 32 CEs):\n");
-    for (auto sched : {runtime::Schedule::self_scheduled,
-                       runtime::Schedule::static_chunked}) {
-        machine::CedarMachine machine;
-        runtime::LoopRunner runner(machine);
-        Tick end = runner.xdoall(
-            runner.allCes(), 320,
-            [](unsigned, unsigned, std::deque<cluster::Op> &out) {
-                out.push_back(cluster::Op::makeScalar(100));
-            },
-            sched);
-        bool self = sched == runtime::Schedule::self_scheduled;
-        std::printf("  %-15s %.0f us\n", self ? "self-scheduled" : "static",
-                    ticksToMicros(end));
-        out.metric(self ? "xdoall_self_us" : "xdoall_static_us",
-                   ticksToMicros(end));
-    }
-
-    out.metric("xdoall_startup_us", t32_1);
-    out.metric("fetch_per_iter_us", fetch_per_iter);
-    out.metric("fetch_nosync_us", fetch_nosync);
-    out.metric("lock_penalty", fetch_nosync / fetch_per_iter);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("ablation_runtime", argc, argv);
 }

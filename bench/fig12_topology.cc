@@ -1,111 +1,14 @@
 /**
  * @file
- * Verifies and prints the machine organization of Figures 1 and 2:
- * four Alliant FX/8 clusters of eight CEs, two unidirectional
- * multistage shuffle-exchange networks of 8x8 crossbars, interleaved
- * global memory, and the published rates and latencies. The figures
- * are descriptive, so this "reproduction" is a configuration
- * self-check: every number the paper states about the organization is
- * recomputed from the built system.
+ * Figures 1 & 2: the Cedar machine organization self-check. The body
+ * lives in src/valid/scenarios/sc_fig12_topology.cc so cedar_validate
+ * and ctest run the identical code.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("fig12_topology", argc, argv);
-    machine::CedarMachine machine;
-    const auto &cfg = machine.config();
-
-    std::printf("Figures 1 & 2: the Cedar organization "
-                "(recomputed from the built system)\n\n");
-    core::TableWriter table({"property", "built", "paper"});
-
-    table.row({"clusters", core::fmt(machine.numClusters(), 0), "4"});
-    table.row({"CEs per cluster", core::fmt(cfg.cluster.num_ces, 0), "8"});
-    table.row({"CE cycle (ns)", core::fmt(ce_cycle_ns, 0), "170"});
-    table.row({"CE peak MFLOPS", core::fmt(2.0 * ce_clock_mhz),
-               "11.8"});
-    table.row({"machine peak MFLOPS", core::fmt(cfg.peakMflops(), 0),
-               "376"});
-    table.row({"effective peak MFLOPS",
-               core::fmt(cfg.effectivePeakMflops(), 0), "274"});
-
-    // Cache: 8 words/cycle/cluster = 48 MB/s per CE, 384 MB/s/cluster.
-    double cache_mb_s = cfg.cluster.cache.words_per_cycle *
-                        bytes_per_word / (ce_cycle_ns * 1e-9) / 1e6;
-    table.row({"cache bandwidth MB/s/cluster", core::fmt(cache_mb_s, 0),
-               "384"});
-    double cmem_mb_s = cfg.cluster.cmem.words_per_cycle *
-                       bytes_per_word / (ce_cycle_ns * 1e-9) / 1e6;
-    table.row({"cluster memory MB/s", core::fmt(cmem_mb_s, 0), "192"});
-    table.row({"cache line bytes", core::fmt(cfg.cluster.cache.line_bytes, 0),
-               "32"});
-    table.row({"cache capacity KB", core::fmt(cfg.cluster.cache.capacity_kb, 0),
-               "512"});
-
-    // Network/global memory: per-CE share 24 MB/s, system 768 MB/s.
-    // PFU issue pacing bounds each CE at 1 word per issue interval.
-    double per_ce_mb_s = bytes_per_word /
-                         (cfg.cluster.pfu.issue_interval * ce_cycle_ns *
-                          1e-9) /
-                         1e6;
-    table.row({"global BW per CE MB/s", core::fmt(per_ce_mb_s, 0), "24"});
-    double sys_words_per_cycle =
-        double(cfg.gm.num_modules) / cfg.gm.module_access_cycles;
-    double sys_mb_s = sys_words_per_cycle * bytes_per_word /
-                      (ce_cycle_ns * 1e-9) / 1e6;
-    table.row({"global memory BW MB/s", core::fmt(sys_mb_s, 0), "768"});
-    table.row({"memory modules", core::fmt(cfg.gm.num_modules, 0),
-               "double-word interleaved"});
-
-    auto &gm = machine.gm();
-    table.row({"network stages",
-               core::fmt(gm.forwardNet().numStages(), 0), "2 (8x8 xbars)"});
-    table.row({"min PFU latency (cycles)",
-               core::fmt(gm.minReadLatency() +
-                             cfg.cluster.pfu.buffer_fill,
-                         0),
-               "8"});
-    table.row({"CE-visible latency (cycles)",
-               core::fmt(cfg.cluster.ce.issue_cycles +
-                             gm.minReadLatency() +
-                             cfg.cluster.ce.drain_cycles,
-                         0),
-               "13"});
-    table.row({"outstanding misses per CE",
-               core::fmt(cfg.cluster.cache.misses_per_ce, 0), "2"});
-    table.row({"prefetch buffer words",
-               core::fmt(cfg.cluster.pfu.buffer_words, 0), "512"});
-    table.row({"page size (words)", core::fmt(mem::words_per_page, 0),
-               "512 (4KB)"});
-    table.print();
-
-    // Routing self-check: the tag scheme gives a unique path from every
-    // input to every output on both networks.
-    unsigned ports = gm.forwardNet().numPorts();
-    std::uint64_t paths = 0;
-    for (unsigned in = 0; in < ports; ++in)
-        for (unsigned out = 0; out < ports; ++out)
-            paths += gm.forwardNet().path(in, out).size();
-    std::printf("\nrouting self-check: %u x %u port pairs, %llu hops "
-                "walked, all unique-path assertions held\n",
-                ports, ports, static_cast<unsigned long long>(paths));
-
-    out.metric("clusters", machine.numClusters());
-    out.metric("ces", machine.numCes());
-    out.metric("peak_mflops", cfg.peakMflops());
-    out.metric("effective_peak_mflops", cfg.effectivePeakMflops());
-    out.metric("global_bw_mb_s", sys_mb_s);
-    out.metric("min_read_latency_cycles",
-               std::uint64_t(gm.minReadLatency()));
-    out.metric("route_hops", paths);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("fig12_topology", argc, argv);
 }

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared bench driver. Every reproduction bench main() is one call to
+ * scenarioMain(): the bench's whole body lives in the scenario
+ * registry (src/valid/scenarios/), where cedar_validate and ctest run
+ * the identical code, and the bench binary keeps its historical
+ * command line:
+ *
+ *   bench_name [size] [--json] [--no-check]
+ *
+ * A positional size overrides the scenario's canonical problem size
+ * (golden checking is skipped for non-canonical runs). After the run
+ * the emitted cells are checked against tests/golden/<name>.json and
+ * the process exits nonzero on any out-of-band cell, so a CI smoke
+ * invocation actually fails when a published number drifts.
+ * `--no-check` restores the old report-only behavior.
+ */
+
+#ifndef CEDARSIM_BENCH_HARNESS_HH
+#define CEDARSIM_BENCH_HARNESS_HH
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "core/cedar.hh"
+#include "valid/golden.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::bench {
+
+inline int
+scenarioMain(const char *name, int argc, char **argv)
+{
+    setLogQuiet(true);
+    core::BenchOutput out(name, argc, argv);
+
+    valid::ScenarioOptions opts;
+    bool check = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-check") == 0) {
+            check = false;
+        } else if (std::isdigit(
+                       static_cast<unsigned char>(argv[i][0]))) {
+            opts.size = unsigned(std::strtoul(argv[i], nullptr, 10));
+        }
+    }
+
+    const valid::Scenario *scenario = valid::findScenario(name);
+    if (!scenario) {
+        std::fprintf(stderr, "%s: scenario not registered\n", name);
+        return 2;
+    }
+
+    valid::Metrics metrics;
+    try {
+        metrics = valid::runScenario(*scenario, opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", name, e.what());
+        return 2;
+    }
+
+    for (const auto &m : metrics.values)
+        out.metric(m.key, m.value);
+    for (const auto &[key, value] : metrics.notes)
+        out.metric(key, value);
+
+    int rc = 0;
+    if (check && opts.size == 0) {
+        std::string path =
+            valid::goldenPath(valid::goldenDir(), scenario->name);
+        try {
+            auto result = valid::checkAgainstGolden(
+                valid::loadGolden(path), metrics);
+            if (result.ok()) {
+                std::fprintf(stderr,
+                             "golden check: %zu cells within band\n",
+                             result.cells.size());
+            } else {
+                std::fprintf(
+                    stderr, "golden check FAILED (%u cells):\n%s",
+                    result.failures +
+                        unsigned(result.unknown_cells.size()),
+                    valid::describeFailures(result).c_str());
+                rc = 1;
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "golden check FAILED: %s\n", e.what());
+            rc = 1;
+        }
+    }
+
+    out.emit();
+    return rc;
+}
+
+} // namespace cedar::bench
+
+#endif // CEDARSIM_BENCH_HARNESS_HH

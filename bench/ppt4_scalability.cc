@@ -1,152 +1,14 @@
 /**
  * @file
- * Reproduces the Section 4.3 PPT4 scalability study: a conjugate
- * gradient solver on Cedar with processor counts 2..32 and 5-diagonal
- * problem sizes 1K..172K, against the CM-5 banded matrix-vector
- * results of [FWPS92] (bandwidths 3 and 11, sizes 16K..256K, no
- * floating-point accelerators).
- *
- * Paper findings to reproduce in shape:
- *  - Cedar delivers 34-48 MFLOPS on 32 processors as the CG problem
- *    ranges 10K..172K, scalable high performance above ~10-16K and
- *    scalable intermediate below, with nothing unacceptable;
- *  - the 32-node CM-5 delivers 28-32 MFLOPS at BW=3 and 58-67 at
- *    BW=11, scalable intermediate (never high) performance;
- *  - per-processor MFLOPS of the two systems are roughly equivalent.
+ * Section 4.3 PPT4: CG scalability on Cedar against the CM-5 banded
+ * matrix-vector model. Body:
+ * src/valid/scenarios/sc_ppt4_scalability.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
-
-namespace {
-
-double
-cgSerialEstimateSeconds(unsigned n, unsigned iterations)
-{
-    // Best uniprocessor baseline: a vectorized one-CE CG is bound by
-    // its global-memory streams at ~2.56 cycles per flop (~2.3
-    // MFLOPS); speedups for algorithm studies are quoted against the
-    // best serial version, not the scalar one.
-    double cycles = 19.0 * n * iterations * 2.56;
-    return ticksToSeconds(static_cast<Tick>(cycles));
-}
-
-} // namespace
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("ppt4_scalability", argc, argv);
-
-    std::printf("PPT4 study: CG scalability on Cedar vs CM-5 banded "
-                "matvec\n\n");
-
-    const unsigned sizes[] = {1024, 4096, 10240, 16384, 32768, 65536,
-                              98304, 172032};
-    const unsigned procs[] = {2, 4, 8, 16, 32};
-
-    core::TableWriter table({"N", "P", "MFLOPS", "speedup", "band"});
-    std::vector<method::ScalePoint> points;
-    double mflops_min_32 = 1e9, mflops_max_32 = 0.0;
-
-    for (unsigned n : sizes) {
-        for (unsigned p : procs) {
-            if (n % (p * 32) != 0)
-                continue;
-            machine::CedarMachine machine;
-            kernels::CgTimedParams params;
-            params.n = n;
-            params.m = 128;
-            params.ces = p;
-            params.iterations = 2;
-            auto res = kernels::runCgTimed(machine, params);
-            double rate = res.mflopsRate();
-            double serial =
-                cgSerialEstimateSeconds(n, params.iterations);
-            double spd = serial / res.seconds();
-            points.push_back(method::ScalePoint{p, double(n), spd});
-            if (p == 32 && n >= 10240) {
-                // The paper quotes the 32-CE rate range for 10K..172K.
-                mflops_min_32 = std::min(mflops_min_32, rate);
-                mflops_max_32 = std::max(mflops_max_32, rate);
-            }
-            table.row({core::fmt(n, 0), core::fmt(p, 0),
-                       core::fmt(rate), core::fmt(spd),
-                       method::bandName(method::classify(spd, p))});
-        }
-    }
-    table.print();
-
-    auto ppt4 = method::evaluatePpt4(points);
-    std::printf("\nCedar 32-CE MFLOPS range: %.0f..%.0f (paper: 34..48 "
-                "for 10K..172K)\n",
-                mflops_min_32, mflops_max_32);
-    std::printf("high band reached at N >= %.0f on 32 CEs (paper: "
-                "between 10K and 16K)\n",
-                ppt4.high_band_threshold_n);
-    std::printf("scalable: %s, scalable high: %s  (St high regime "
-                "%.2f, intermediate regime %.2f)\n\n",
-                ppt4.scalable ? "yes" : "no",
-                ppt4.scalable_high ? "yes" : "no", ppt4.high_stability,
-                ppt4.intermediate_stability);
-
-    std::printf("CM-5 banded matrix-vector (no FP accelerators, "
-                "[FWPS92] model):\n");
-    method::Cm5Model cm5;
-    core::TableWriter cm5_table(
-        {"BW", "N", "32-node MFLOPS", "band@32", "band@256", "band@512"});
-    for (unsigned bw : {3u, 11u}) {
-        for (double n : {16384.0, 65536.0, 262144.0}) {
-            cm5_table.row(
-                {core::fmt(bw, 0), core::fmt(n, 0),
-                 core::fmt(cm5.mflops(bw, n, 32)),
-                 method::bandName(cm5.band(bw, n, 32)),
-                 method::bandName(cm5.band(bw, n, 256)),
-                 method::bandName(cm5.band(bw, n, 512))});
-        }
-    }
-    cm5_table.print();
-    std::printf("(paper: 28-32 MFLOPS BW=3, 58-67 MFLOPS BW=11 at 32 "
-                "nodes; scalable intermediate, never high)\n");
-
-    // Extension: the like-for-like comparison the paper implies but
-    // never ran — the same banded matvec on Cedar's 32 CEs.
-    std::printf("\nCedar banded matrix-vector (extension, same "
-                "computation as the CM-5 rows):\n");
-    core::TableWriter banded_table({"BW", "N", "32-CE MFLOPS"});
-    for (unsigned bw : {3u, 11u}) {
-        for (unsigned n : {16384u, 65536u, 262144u}) {
-            machine::CedarMachine machine;
-            kernels::BandedParams bparams;
-            bparams.n = n;
-            bparams.bandwidth = bw;
-            bparams.ces = 32;
-            auto res = kernels::runBanded(machine, bparams);
-            banded_table.row({core::fmt(bw, 0), core::fmt(n, 0),
-                              core::fmt(res.mflopsRate())});
-        }
-    }
-    banded_table.print();
-
-    double cedar_per_proc = (mflops_min_32 + mflops_max_32) / 2.0 / 32.0;
-    double cm5_per_proc =
-        (cm5.mflops(3, 65536, 32) + cm5.mflops(11, 65536, 32)) / 2.0 /
-        32.0;
-    std::printf("\nper-processor MFLOPS: Cedar %.2f, CM-5 %.2f (paper: "
-                "roughly equivalent)\n",
-                cedar_per_proc, cm5_per_proc);
-
-    out.metric("mflops_min_32", mflops_min_32);
-    out.metric("mflops_max_32", mflops_max_32);
-    out.metric("high_band_threshold_n", ppt4.high_band_threshold_n);
-    out.metric("scalable", ppt4.scalable ? 1 : 0);
-    out.metric("scalable_high", ppt4.scalable_high ? 1 : 0);
-    out.metric("cedar_per_proc_mflops", cedar_per_proc);
-    out.metric("cm5_per_proc_mflops", cm5_per_proc);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("ppt4_scalability", argc, argv);
 }

@@ -1,118 +1,14 @@
 /**
  * @file
- * PPT5 — Technology and scalable reimplementability.
- *
- * The paper closes: "We are in the process of collecting detailed
- * simulation data for various computations on scaled-up Cedar-like
- * systems. This takes us into the realm of PPT 5." This bench is that
- * study: the same Cedar architecture reimplemented at 2x and 4x the
- * cluster count (with the network and memory modules scaled to keep
- * the per-processor bandwidth contract), running the rank-64 update
- * and CG, and judged with the same band methodology.
- *
- * Scaled shapes:
- *   4 clusters /  32 CEs: 8x4 omega,  32 modules  (the real machine)
- *   8 clusters /  64 CEs: 8x8 omega,  64 modules
- *  16 clusters / 128 CEs: 8x4x4 omega, 128 modules
+ * PPT5: the same Cedar architecture reimplemented at 2x and 4x the
+ * cluster count with the bandwidth contract preserved. Body:
+ * src/valid/scenarios/sc_ppt5_scaled.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
-
-namespace {
-
-machine::CedarConfig
-scaledConfig(unsigned clusters)
-{
-    machine::CedarConfig cfg;
-    cfg.num_clusters = clusters;
-    cfg.gm.num_ports = clusters * 8;
-    cfg.gm.num_modules = clusters * 8;
-    switch (clusters) {
-      case 4: cfg.gm.stage_radices = {8, 4}; break;
-      case 8: cfg.gm.stage_radices = {8, 8}; break;
-      case 16: cfg.gm.stage_radices = {8, 4, 4}; break;
-      default: fatal("no scaled shape for ", clusters, " clusters");
-    }
-    return cfg;
-}
-
-} // namespace
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("ppt5_scaled", argc, argv);
-    std::printf("PPT5 study: scaled-up Cedar-like systems\n");
-    std::printf("(same architecture, 2x and 4x cluster counts, "
-                "bandwidth contract preserved)\n\n");
-
-    core::TableWriter table({"CEs", "peak MFL", "RK/pref MFL",
-                             "RK/cache MFL", "cache eff", "CG MFL",
-                             "CG band"});
-    for (unsigned clusters : {4u, 8u, 16u}) {
-        auto cfg = scaledConfig(clusters);
-        unsigned ces = cfg.numCes();
-
-        // Rank-64 with prefetch: stresses the shared global memory.
-        double pref_rate;
-        {
-            machine::CedarMachine machine(cfg);
-            kernels::Rank64Params params;
-            params.n = 512;
-            params.clusters = clusters;
-            params.version = kernels::Rank64Version::gm_prefetch;
-            pref_rate = kernels::runRank64(machine, params).mflopsRate();
-        }
-        // Rank-64 from cache: the scalable path.
-        double cache_rate;
-        {
-            machine::CedarMachine machine(cfg);
-            kernels::Rank64Params params;
-            params.n = 512;
-            params.clusters = clusters;
-            params.version = kernels::Rank64Version::gm_cache;
-            cache_rate = kernels::runRank64(machine, params).mflopsRate();
-        }
-        // CG at a proportionally scaled problem.
-        double cg_rate, cg_speedup;
-        {
-            machine::CedarMachine machine(cfg);
-            kernels::CgTimedParams params;
-            params.n = 2048 * ces;
-            params.m = 128;
-            params.ces = ces;
-            params.iterations = 1;
-            auto res = kernels::runCgTimed(machine, params);
-            cg_rate = res.mflopsRate();
-            cg_speedup = res.flops / 2.3e6 / res.seconds();
-        }
-        table.row({core::fmt(ces, 0), core::fmt(cfg.peakMflops(), 0),
-                   core::fmt(pref_rate, 0), core::fmt(cache_rate, 0),
-                   core::fmt(cache_rate / cfg.effectivePeakMflops(), 2),
-                   core::fmt(cg_rate, 0),
-                   method::bandName(method::classify(cg_speedup, ces))});
-
-        std::string key = std::to_string(ces) + "ce";
-        out.metric(key + "_pref_mflops", pref_rate);
-        out.metric(key + "_cache_mflops", cache_rate);
-        out.metric(key + "_cache_eff",
-                   cache_rate / cfg.effectivePeakMflops());
-        out.metric(key + "_cg_mflops", cg_rate);
-    }
-    table.print();
-
-    std::printf(
-        "\nreading: the cache path (cluster-resident blocking) scales "
-        "with the machine because\nits global traffic per flop is "
-        "tiny, while the prefetch path saturates the shared\nmemory "
-        "system — the architecture reimplements cleanly only for "
-        "computations with\nCedar-friendly locality, which is the "
-        "honest PPT5 answer the paper anticipated.\n");
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("ppt5_scaled", argc, argv);
 }

@@ -1,109 +1,15 @@
 /**
  * @file
- * Reproduces Table 1: MFLOPS for the rank-64 update on Cedar, three
- * memory-system versions (GM/no-pref, GM/pref, GM/cache) on 1-4
- * clusters, plus the derived in-text observations (prefetch and cache
- * improvement factors, fraction of effective peak at 32 CEs).
- *
- * Usage: table1_rank64 [n]   (default n = 512; the paper used 1K)
+ * Table 1: MFLOPS for the rank-64 update on 1-4 clusters, three
+ * memory-system versions. Optional positional argument: problem size
+ * n (canonical 768; golden checking applies only at the canonical
+ * size). Body: src/valid/scenarios/sc_table1_rank64.cc.
  */
 
-#include <cstdio>
-#include <cstdlib>
-#include <string>
-
-#include "core/report.hh"
-#include "kernels/rank64.hh"
-#include "machine/cedar.hh"
-
-using namespace cedar;
-
-namespace {
-
-/** Paper's Table 1 values, for side-by-side comparison. */
-const double paper[3][4] = {
-    {14.5, 29.0, 43.0, 55.0},   // GM/no-pref
-    {50.0, 84.0, 96.0, 104.0},  // GM/pref
-    {52.0, 104.0, 152.0, 208.0} // GM/cache
-};
-
-} // namespace
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    core::BenchOutput out("table1_rank64", argc, argv);
-    unsigned n = 512;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) != "--json")
-            n = static_cast<unsigned>(std::atoi(argv[i]));
-    }
-    setLogQuiet(true);
-
-    std::printf("Table 1: MFLOPS for rank-64 update on Cedar (n = %u)\n",
-                n);
-    std::printf("%-12s %10s %10s %10s %10s\n", "version", "1 cl.",
-                "2 cl.", "3 cl.", "4 cl.");
-
-    double measured[3][4] = {};
-    const kernels::Rank64Version versions[3] = {
-        kernels::Rank64Version::gm_no_prefetch,
-        kernels::Rank64Version::gm_prefetch,
-        kernels::Rank64Version::gm_cache,
-    };
-
-    for (int v = 0; v < 3; ++v) {
-        std::printf("%-12s", kernels::rank64VersionName(versions[v]));
-        for (unsigned cl = 1; cl <= 4; ++cl) {
-            machine::CedarMachine machine;
-            kernels::Rank64Params params;
-            params.n = n;
-            params.clusters = cl;
-            params.version = versions[v];
-            auto res = kernels::runRank64(machine, params);
-            measured[v][cl - 1] = res.mflopsRate();
-            std::printf(" %10.1f", measured[v][cl - 1]);
-            std::fflush(stdout);
-        }
-        std::printf("\n");
-    }
-
-    std::printf("\npaper:\n");
-    const char *names[3] = {"GM/no-pref", "GM/pref", "GM/cache"};
-    for (int v = 0; v < 3; ++v) {
-        std::printf("%-12s", names[v]);
-        for (int c = 0; c < 4; ++c)
-            std::printf(" %10.1f", paper[v][c]);
-        std::printf("\n");
-    }
-
-    std::printf("\nderived (measured | paper):\n");
-    std::printf("  prefetch improvement over no-pref: ");
-    const double paper_pref[4] = {3.5, 2.9, 2.2, 1.9};
-    for (int c = 0; c < 4; ++c) {
-        std::printf("%.1f|%.1f ", measured[1][c] / measured[0][c],
-                    paper_pref[c]);
-    }
-    std::printf("\n  cache improvement over no-pref:    ");
-    const double paper_cache[4] = {3.5, 3.6, 3.5, 3.8};
-    for (int c = 0; c < 4; ++c) {
-        std::printf("%.1f|%.1f ", measured[2][c] / measured[0][c],
-                    paper_cache[c]);
-    }
-    machine::CedarConfig cfg;
-    std::printf("\n  32-CE cache %% of effective peak (%0.0f MFLOPS): "
-                "%.0f%% | 74%%\n",
-                cfg.effectivePeakMflops(),
-                100.0 * measured[2][3] / cfg.effectivePeakMflops());
-
-    out.metric("n", n);
-    out.metric("gm_nopref_4cl_mflops", measured[0][3]);
-    out.metric("gm_pref_4cl_mflops", measured[1][3]);
-    out.metric("gm_cache_4cl_mflops", measured[2][3]);
-    out.metric("pref_improvement_1cl", measured[1][0] / measured[0][0]);
-    out.metric("cache_improvement_4cl", measured[2][3] / measured[0][3]);
-    out.metric("pct_effective_peak",
-               100.0 * measured[2][3] / cfg.effectivePeakMflops());
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("table1_rank64", argc, argv);
 }

@@ -1,135 +1,14 @@
 /**
  * @file
- * Reproduces Table 2: global memory performance — first-word Latency
- * and Interarrival time of prefetch blocks for the four instrumented
- * kernels (VL vector load, TM tridiagonal matvec, RK rank-64 update,
- * CG conjugate gradient) at 8, 16, and 32 processors.
- *
- * The probe sits where the paper's hardware monitor sat: a request is
- * timed from the moment the PFU issues its address to the forward
- * network until the datum returns to the prefetch buffer through the
- * reverse network. Minimal latency is 8 cycles; RK uses 256-word
- * prefetch blocks aggressively overlapped with computation while the
- * other kernels use compiler-generated 32-word prefetches.
- *
- * The scanned paper's numeric cells are unreadable, so EXPERIMENTS.md
- * validates the *stated properties*: near-minimum values at one
- * cluster, growth with processor count, and the degradation ordering
- * RK > VL > TM ~ CG.
+ * Table 2: global memory latency and interarrival for the four
+ * instrumented kernels at 8/16/32 CEs. Body:
+ * src/valid/scenarios/sc_table2_memory.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
-
-namespace {
-
-struct Row
-{
-    const char *kernel;
-    double latency[3];
-    double interarrival[3];
-};
-
-kernels::KernelResult
-runKernel(const char *name, unsigned ces)
-{
-    machine::CedarMachine machine;
-    if (std::string(name) == "VL") {
-        kernels::VloadParams p;
-        p.ces = ces;
-        p.repetitions = 300;
-        return kernels::runVload(machine, p);
-    }
-    if (std::string(name) == "TM") {
-        kernels::TridiagParams p;
-        p.ces = ces;
-        p.n = 1024 * ces;
-        return kernels::runTridiag(machine, p);
-    }
-    if (std::string(name) == "RK") {
-        kernels::Rank64Params p;
-        p.version = kernels::Rank64Version::gm_prefetch;
-        p.clusters = ces / 8;
-        p.n = 256;
-        return kernels::runRank64(machine, p);
-    }
-    kernels::CgTimedParams p;
-    p.ces = ces;
-    p.n = 1024 * ces;
-    p.m = 128;
-    p.iterations = 1;
-    return kernels::runCgTimed(machine, p);
-}
-
-} // namespace
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("table2_memory", argc, argv);
-    const char *names[4] = {"VL", "TM", "RK", "CG"};
-    const unsigned procs[3] = {8, 16, 32};
-
-    std::printf("Table 2: Global memory performance\n");
-    std::printf("(cycles; hardware minimum: latency 8, interarrival 1;\n"
-                " probe: PFU issue -> prefetch-buffer arrival)\n\n");
-
-    core::TableWriter table({"kernel", "metric", "8 CEs", "16 CEs",
-                             "32 CEs"});
-    Row rows[4];
-    for (int k = 0; k < 4; ++k) {
-        rows[k].kernel = names[k];
-        for (int p = 0; p < 3; ++p) {
-            auto res = runKernel(names[k], procs[p]);
-            rows[k].latency[p] = res.mean_latency;
-            rows[k].interarrival[p] = res.mean_interarrival;
-        }
-        table.row({names[k], "Latency", core::fmt(rows[k].latency[0]),
-                   core::fmt(rows[k].latency[1]),
-                   core::fmt(rows[k].latency[2])});
-        table.row({"", "Interarrival", core::fmt(rows[k].interarrival[0]),
-                   core::fmt(rows[k].interarrival[1]),
-                   core::fmt(rows[k].interarrival[2])});
-    }
-    table.print();
-
-    // The paper's stated properties, checked explicitly.
-    auto growth = [&](int k) {
-        return rows[k].latency[2] / rows[k].latency[0];
-    };
-    std::printf("\nstated properties:\n");
-    std::printf("  one-cluster latency near minimum (8): VL %.1f, TM "
-                "%.1f, RK %.1f, CG %.1f\n",
-                rows[0].latency[0], rows[1].latency[0],
-                rows[2].latency[0], rows[3].latency[0]);
-    std::printf("  degradation 8->32 CEs (latency growth): VL %.2fx, TM "
-                "%.2fx, RK %.2fx, CG %.2fx\n",
-                growth(0), growth(1), growth(2), growth(3));
-    std::printf("  expected: RK degrades most (largest blocks, full "
-                "overlap); TM and CG suffer\n"
-                "  approximately the same degradation "
-                "(register-register operations reduce demand)\n");
-    bool rk_worst = growth(2) >= growth(0) && growth(2) >= growth(1) &&
-                    growth(2) >= growth(3);
-    double tm_cg = growth(1) / growth(3);
-    bool tm_cg_similar = tm_cg > 0.6 && tm_cg < 1.67;
-    std::printf("  RK degrades most: %s;  TM/CG similar (ratio %.2f): "
-                "%s\n",
-                rk_worst ? "yes" : "NO", tm_cg,
-                tm_cg_similar ? "yes" : "NO");
-
-    for (int k = 0; k < 4; ++k) {
-        std::string key = rows[k].kernel;
-        out.metric(key + "_latency_8ce", rows[k].latency[0]);
-        out.metric(key + "_latency_32ce", rows[k].latency[2]);
-        out.metric(key + "_interarrival_32ce", rows[k].interarrival[2]);
-    }
-    out.metric("rk_degrades_most", rk_worst ? 1 : 0);
-    out.metric("tm_cg_ratio", tm_cg);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("table2_memory", argc, argv);
 }

@@ -1,98 +1,14 @@
 /**
  * @file
- * Reproduces Table 3: Cedar execution time, MFLOPS, and speed
- * improvement for the Perfect Benchmarks — the KAP/Cedar compiled
- * version against the automatable transformations, plus the two
- * ablation columns discussed in the text ("slowdown" when Cedar
- * synchronization is not used for loop scheduling, and additionally
- * without compiler prefetch) and the Cray Y-MP/8 baseline-compiler
- * MFLOPS ratio.
+ * Table 3: Cedar execution time, MFLOPS, and speed improvement for
+ * the Perfect Benchmarks, with the sync/prefetch ablation columns.
+ * Body: src/valid/scenarios/sc_table3_perfect.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-#include "runtime/microbench.hh"
-
-using namespace cedar;
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("table3_perfect", argc, argv);
-    // Ground the workload model in costs measured on the simulator.
-    auto costs = runtime::measuredMachineCosts();
-    std::printf("machine costs measured on the simulator: fetch %.1f "
-                "us, lock fetch %.1f us,\nbarrier %.1f us "
-                "(32 CEs)\n\n",
-                costs.iter_fetch_us, costs.iter_fetch_nosync_us,
-                costs.barrier_us);
-    perfect::PerfectModel model(costs);
-    const auto &ymp = method::ympRef();
-
-    auto serial = model.evaluateSuite(perfect::Level::serial);
-    auto kap = model.evaluateSuite(perfect::Level::kap);
-    auto autov = model.evaluateSuite(perfect::Level::automatable);
-    auto nosync = model.evaluateSuite(perfect::Level::automatable_nosync);
-    auto nopref = model.evaluateSuite(perfect::Level::automatable_nopref);
-
-    std::printf("Table 3: Cedar execution time, MFLOPS, and speed "
-                "improvement for Perfect Benchmarks\n\n");
-    core::TableWriter table({"code", "serial s", "KAP spd", "auto s",
-                             "auto MFL", "auto spd", "-sync spd",
-                             "-pref spd", "YMP/Cedar"});
-    std::vector<double> cedar_rates;
-    std::vector<double> ratios;
-    for (std::size_t i = 0; i < autov.size(); ++i) {
-        double ratio = ymp.codes[i].auto_mflops / autov[i].mflops;
-        cedar_rates.push_back(autov[i].mflops);
-        ratios.push_back(ratio);
-        table.row({autov[i].code, core::fmt(serial[i].seconds, 0),
-                   core::fmt(kap[i].speedup), core::fmt(autov[i].seconds, 0),
-                   core::fmt(autov[i].mflops, 2),
-                   core::fmt(autov[i].speedup),
-                   core::fmt(nosync[i].speedup),
-                   core::fmt(nopref[i].speedup), core::fmt(ratio)});
-    }
-    table.print();
-
-    double cedar_hm = harmonicMean(cedar_rates);
-    double ymp_hm = harmonicMean(ymp.autoRates());
-    std::printf("\nharmonic mean MFLOPS: Cedar %.2f, YMP/8 %.2f  "
-                "(YMP/Cedar ratio %.1f; paper states 7.4)\n",
-                cedar_hm, ymp_hm, ymp_hm / cedar_hm);
-    std::printf("clock ratio for reference: 170ns/6ns = %.2f\n",
-                170.0 / 6.0);
-
-    std::printf("\nstated per-code properties:\n");
-    auto findIdx = [&](const char *name) {
-        for (std::size_t i = 0; i < autov.size(); ++i)
-            if (autov[i].code == name)
-                return i;
-        return std::size_t(0);
-    };
-    std::size_t dyf = findIdx("DYFESM"), oce = findIdx("OCEAN"),
-                trk = findIdx("TRACK"), qcd = findIdx("QCD");
-    std::printf("  QCD automatable improvement: %.1f (paper: 1.8)\n",
-                autov[qcd].speedup);
-    std::printf("  fine-grained codes slow down without Cedar sync: "
-                "DYFESM %.0f%%, OCEAN %.0f%%\n",
-                100.0 * (nosync[dyf].seconds / autov[dyf].seconds - 1.0),
-                100.0 * (nosync[oce].seconds / autov[oce].seconds - 1.0));
-    std::printf("  DYFESM benefits significantly from prefetch: "
-                "+%.0f%% time without it\n",
-                100.0 * (nopref[dyf].seconds / nosync[dyf].seconds - 1.0));
-    std::printf("  TRACK (scalar-access dominated) barely reacts: "
-                "+%.0f%% without prefetch\n",
-                100.0 * (nopref[trk].seconds / nosync[trk].seconds - 1.0));
-
-    out.metric("cedar_hm_mflops", cedar_hm);
-    out.metric("ymp_hm_mflops", ymp_hm);
-    out.metric("ymp_cedar_ratio", ymp_hm / cedar_hm);
-    out.metric("qcd_auto_speedup", autov[qcd].speedup);
-    out.metric("iter_fetch_us", costs.iter_fetch_us);
-    out.metric("barrier_us", costs.barrier_us);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("table3_perfect", argc, argv);
 }

@@ -1,90 +1,14 @@
 /**
  * @file
- * Reproduces Table 4: execution times for the manually altered Perfect
- * codes, and their improvement over the automatable version with
- * prefetch but without Cedar synchronization (the paper's footnoted
- * baseline), plus the in-text hand results (FLO52 33 s, DYFESM 31 s,
- * SPICE ~26 s, QCD improvement 20.8 vs 1.8 automatable).
+ * Table 4: execution times for the manually altered Perfect codes and
+ * their improvement over the automatable/no-sync baseline. Body:
+ * src/valid/scenarios/sc_table4_handopt.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
-
-namespace {
-
-struct PaperRow
-{
-    const char *code;
-    double time_s;
-    double improvement; // 0 = not printed in Table 4
-};
-
-const PaperRow paper_rows[] = {
-    {"ARC2D", 68.0, 2.1}, // printed as ARC3D/ARCSD in the scan
-    {"BDNA", 70.0, 1.7},
-    {"FLO52", 33.0, 0.0},
-    {"DYFESM", 31.0, 0.0},
-    {"TRFD", 7.5, 2.8},
-    {"QCD", 21.0, 11.4},
-    {"SPICE", 26.0, 0.0},
-    {"TRACK", 11.0, 0.0},
-};
-
-} // namespace
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("table4_handopt", argc, argv);
-    perfect::PerfectModel model;
-    auto hand = model.evaluateSuite(perfect::Level::hand);
-    auto nosync = model.evaluateSuite(perfect::Level::automatable_nosync);
-    auto serial = model.evaluateSuite(perfect::Level::serial);
-
-    std::printf("Table 4: Execution times (s) for manually altered "
-                "Perfect codes and improvement\n"
-                "over automatable w/ prefetch and w/o Cedar "
-                "synchronization\n\n");
-
-    core::TableWriter table({"code", "time s (paper)", "improvement "
-                             "(paper)", "hand speedup"});
-    for (const auto &row : paper_rows) {
-        std::size_t idx = 0;
-        for (std::size_t i = 0; i < hand.size(); ++i)
-            if (hand[i].code == row.code)
-                idx = i;
-        double impr = nosync[idx].seconds / hand[idx].seconds;
-        double spd = serial[idx].seconds / hand[idx].seconds;
-        std::string impr_cell =
-            row.improvement > 0.0 ? core::vsPaper(impr, row.improvement)
-                                  : core::fmt(impr);
-        table.row({row.code, core::vsPaper(hand[idx].seconds, row.time_s, 0),
-                   impr_cell, core::fmt(spd)});
-    }
-    table.print();
-
-    // In-text: "If a hand-coded parallel random number generator is
-    // used, QCD can be improved to yield a speed improvement of 20.8
-    // rather than the 1.8 reported for the automatable code."
-    std::size_t qcd = 0;
-    for (std::size_t i = 0; i < hand.size(); ++i)
-        if (hand[i].code == "QCD")
-            qcd = i;
-    double qcd_hand_spd = serial[qcd].seconds / hand[qcd].seconds;
-    double qcd_auto_spd = model.evaluate(perfect::perfectCode("QCD"),
-                                         perfect::Level::automatable)
-                              .speedup;
-    std::printf("\nQCD speed improvement over serial: hand %.1f "
-                "(paper 20.8), automatable %.1f (paper 1.8)\n",
-                qcd_hand_spd, qcd_auto_spd);
-
-    out.metric("qcd_hand_speedup", qcd_hand_spd);
-    out.metric("qcd_auto_speedup", qcd_auto_spd);
-    out.metric("qcd_hand_seconds", hand[qcd].seconds);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("table4_handopt", argc, argv);
 }

@@ -1,74 +1,14 @@
 /**
  * @file
- * Reproduces Table 5: instability In(13, e) for the Perfect codes on
- * Cedar, the Cray 1, and the Cray Y-MP/8, at e = 0, 2, and 6
- * exclusions. Cedar's rates come from the Perfect model's automatable
- * results; the Cray vectors are the calibrated reference data.
- *
- * Paper values: Cedar 63.4 / 5.8 / -, Cray 1 - / 10.9 / 4.6,
- * YMP/8 75.3 / 29.0 / 5.3. The paper's conclusion: with two
- * exceptions Cedar and the Cray 1 reach workstation-level stability
- * (In <= 6) and pass PPT2, while the YMP needs six exceptions — about
- * half the suite — and fails it.
+ * Table 5: instability In(13, e) for the Perfect codes on Cedar, the
+ * Cray 1, and the Cray Y-MP/8, plus the PPT2 verdicts. Body:
+ * src/valid/scenarios/sc_table5_stability.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("table5_stability", argc, argv);
-    perfect::PerfectModel model;
-    std::vector<double> cedar_rates = model.autoRates();
-    std::vector<double> cray1_rates = method::cray1Ref().autoRates();
-    std::vector<double> ymp_rates = method::ympRef().autoRates();
-
-    std::printf("Table 5: Instability for Perfect codes\n\n");
-    core::TableWriter table(
-        {"system", "In(13,0)", "In(13,2)", "In(13,6)", "paper"});
-    auto emit = [&](const char *name, const std::vector<double> &rates,
-                    const char *paper) {
-        table.row({name, core::fmt(method::instability(rates, 0)),
-                   core::fmt(method::instability(rates, 2)),
-                   core::fmt(method::instability(rates, 6)), paper});
-    };
-    emit("Cedar", cedar_rates, "63.4 / 5.8 / -");
-    emit("Cray 1", cray1_rates, "- / 10.9 / 4.6");
-    emit("YMP/8", ymp_rates, "75.3 / 29.0 / 5.3");
-    table.print();
-
-    std::printf("\nPPT2 (workstation-level stability In <= 6, small "
-                "exceptions):\n");
-    for (auto [name, rates] :
-         {std::pair<const char *, std::vector<double> *>{
-              "Cedar", &cedar_rates},
-          {"Cray 1", &cray1_rates},
-          {"YMP/8", &ymp_rates}}) {
-        auto r = method::evaluatePpt2(*rates);
-        std::printf("  %-7s exceptions needed: %u  In at e: %.1f  -> "
-                    "%s\n",
-                    name, r.exceptions_needed, r.instability_at_e,
-                    r.passed ? "passes" : "fails");
-    }
-    std::printf("(paper: Cedar and Cray 1 pass with two exceptions; the "
-                "YMP needs six and fails)\n");
-    std::printf("\nnote: the paper's text passes the Cray 1 with two "
-                "exceptions even though its own\nTable 5 gives "
-                "In(13,2) = 10.9 > 6 — an internal inconsistency; our "
-                "evaluator applies\nthe workstation bound strictly, so "
-                "the Cray 1 needs four exceptions here.\n");
-
-    out.metric("cedar_in_0", method::instability(cedar_rates, 0));
-    out.metric("cedar_in_2", method::instability(cedar_rates, 2));
-    out.metric("ymp_in_2", method::instability(ymp_rates, 2));
-    auto cedar_ppt2 = method::evaluatePpt2(cedar_rates);
-    out.metric("cedar_ppt2_pass", cedar_ppt2.passed ? 1 : 0);
-    out.metric("cedar_ppt2_exceptions", cedar_ppt2.exceptions_needed);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("table5_stability", argc, argv);
 }

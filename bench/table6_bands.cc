@@ -1,57 +1,14 @@
 /**
  * @file
- * Reproduces Table 6: restructuring efficiency — the number of Perfect
- * codes whose compiled (Cedar: automatable; YMP: baseline
- * autotasking) speedups fall in each band. Paper: Cedar 1 high /
- * 9 intermediate / 3 unacceptable; Cray YMP 0 / 6 / 7.
+ * Table 6: restructuring-efficiency band counts for the compiled
+ * Perfect codes on Cedar and the Cray YMP. Body:
+ * src/valid/scenarios/sc_table6_bands.cc.
  */
 
-#include <cstdio>
-
-#include "core/cedar.hh"
-
-using namespace cedar;
+#include "harness.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    core::BenchOutput out("table6_bands", argc, argv);
-    perfect::PerfectModel model;
-    auto cedar_ppt3 = method::evaluatePpt3(model.autoSpeedups(), 32);
-    auto ymp_ppt3 =
-        method::evaluatePpt3(method::ympRef().autoSpeedups(), 8);
-
-    std::printf("Table 6: Restructuring Efficiency\n\n");
-    core::TableWriter table({"performance level", "Cedar (paper)",
-                             "Cray YMP (paper)"});
-    table.row({"High (Ep >= .5)",
-               core::fmt(cedar_ppt3.bands.high, 0) + " (1)",
-               core::fmt(ymp_ppt3.bands.high, 0) + " (0)"});
-    table.row({"Intermediate (Ep >= 1/2log2P)",
-               core::fmt(cedar_ppt3.bands.intermediate, 0) + " (9)",
-               core::fmt(ymp_ppt3.bands.intermediate, 0) + " (6)"});
-    table.row({"Unacceptable (Ep < 1/2log2P)",
-               core::fmt(cedar_ppt3.bands.unacceptable, 0) + " (3)",
-               core::fmt(ymp_ppt3.bands.unacceptable, 0) + " (7)"});
-    table.print();
-
-    std::printf("\nthresholds: Cedar P=32: high speedup >= %.1f, "
-                "acceptable >= %.1f; YMP P=8: >= %.1f / >= %.2f\n",
-                method::highThreshold(32), method::acceptableThreshold(32),
-                method::highThreshold(8), method::acceptableThreshold(8));
-    std::printf("PPT3 outlook (paper: acceptable compiled levels "
-                "reachable in the next few years):\n"
-                "  Cedar promising: %s   YMP promising: %s\n",
-                cedar_ppt3.promising ? "yes" : "no",
-                ymp_ppt3.promising ? "yes" : "no");
-
-    out.metric("cedar_high", cedar_ppt3.bands.high);
-    out.metric("cedar_intermediate", cedar_ppt3.bands.intermediate);
-    out.metric("cedar_unacceptable", cedar_ppt3.bands.unacceptable);
-    out.metric("ymp_high", ymp_ppt3.bands.high);
-    out.metric("ymp_intermediate", ymp_ppt3.bands.intermediate);
-    out.metric("ymp_unacceptable", ymp_ppt3.bands.unacceptable);
-    out.emit();
-    return 0;
+    return cedar::bench::scenarioMain("table6_bands", argc, argv);
 }

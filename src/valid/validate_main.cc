@@ -1,0 +1,347 @@
+/**
+ * @file
+ * cedar_validate — the paper-fidelity golden harness runner.
+ *
+ * Runs every registered scenario headless, checks each emitted cell
+ * against its golden record (drift band around the frozen reproduced
+ * value, fidelity band around the paper value), and exits nonzero on
+ * any failure. `--update-golden` refreezes the golden files from the
+ * current build; `--perturb key=value` injects a machine-model change
+ * to prove the suite catches regressions.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cedar.hh"
+#include "valid/golden.hh"
+#include "valid/json.hh"
+#include "valid/scenario.hh"
+
+namespace {
+
+using namespace cedar;
+using namespace cedar::valid;
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --list               list registered scenarios and exit\n"
+        "  --filter SUBSTR      run only scenarios whose name contains "
+        "SUBSTR (repeatable)\n"
+        "  --fast               run only fast (tier-1) scenarios\n"
+        "  --update-golden      refreeze golden files from this run\n"
+        "  --json               emit a machine-readable report\n"
+        "  --verbose            keep scenario table printing on stdout\n"
+        "  --golden-dir DIR     override the golden directory\n"
+        "  --perturb KEY=VALUE  perturb the machine config "
+        "(repeatable); e.g. gm.module_conflict_extra=3\n",
+        argv0);
+    return code;
+}
+
+/** One perturbable knob: name -> setter. */
+struct Knob
+{
+    const char *key;
+    std::function<void(machine::CedarConfig &, double)> set;
+};
+
+const std::vector<Knob> &
+knobs()
+{
+    static const std::vector<Knob> k = {
+        {"num_clusters",
+         [](machine::CedarConfig &c, double v) {
+             c.num_clusters = unsigned(v);
+         }},
+        {"gm.module_conflict_extra",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.module_conflict_extra = Cycles(v);
+         }},
+        {"gm.module_access_cycles",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.module_access_cycles = Cycles(v);
+         }},
+        {"gm.sync_extra_cycles",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.sync_extra_cycles = Cycles(v);
+         }},
+        {"gm.hop_latency",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.hop_latency = Cycles(v);
+         }},
+        {"gm.word_occupancy",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.word_occupancy = Cycles(v);
+         }},
+        {"gm.port_queue_words",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.port_queue_words = unsigned(v);
+         }},
+        {"gm.num_modules",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.num_modules = unsigned(v);
+         }},
+        {"cluster.pfu.issue_interval",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.pfu.issue_interval = Cycles(v);
+         }},
+        {"cluster.pfu.buffer_words",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.pfu.buffer_words = unsigned(v);
+         }},
+        {"cluster.pfu.page_cross_penalty",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.pfu.page_cross_penalty = Cycles(v);
+         }},
+        {"cluster.ce.vector_startup",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.ce.vector_startup = Cycles(v);
+         }},
+        {"cluster.ce.issue_cycles",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.ce.issue_cycles = Cycles(v);
+         }},
+        {"cluster.cache.words_per_cycle",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.cache.words_per_cycle = unsigned(v);
+         }},
+        {"cluster.cache.contention_penalty_pct",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.cache.contention_penalty_pct = unsigned(v);
+         }},
+        {"cluster.cmem.words_per_cycle",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.cmem.words_per_cycle = unsigned(v);
+         }},
+        {"cluster.cmem.latency",
+         [](machine::CedarConfig &c, double v) {
+             c.cluster.cmem.latency = Cycles(v);
+         }},
+    };
+    return k;
+}
+
+struct Perturbation
+{
+    std::string key;
+    double value;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+
+    bool list = false, update = false, json = false, verbose = false;
+    bool fast_only = false;
+    std::string golden_dir;
+    std::vector<std::string> filters;
+    std::vector<Perturbation> perturbations;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs %s\n", arg.c_str(), what);
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--update-golden") {
+            update = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--fast") {
+            fast_only = true;
+        } else if (arg == "--filter") {
+            filters.push_back(next("a name substring"));
+        } else if (arg == "--golden-dir") {
+            golden_dir = next("a directory");
+        } else if (arg == "--perturb") {
+            std::string spec = next("KEY=VALUE");
+            auto eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr, "--perturb wants KEY=VALUE, got "
+                                     "'%s'\n",
+                             spec.c_str());
+                return 2;
+            }
+            Perturbation p;
+            p.key = spec.substr(0, eq);
+            try {
+                p.value = std::stod(spec.substr(eq + 1));
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "--perturb %s: value is not a "
+                                     "number\n",
+                             spec.c_str());
+                return 2;
+            }
+            bool known = false;
+            for (const auto &k : knobs())
+                known = known || p.key == k.key;
+            if (!known) {
+                std::fprintf(stderr, "--perturb: unknown knob '%s'; "
+                                     "knobs:\n",
+                             p.key.c_str());
+                for (const auto &k : knobs())
+                    std::fprintf(stderr, "  %s\n", k.key);
+                return 2;
+            }
+            perturbations.push_back(std::move(p));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    if (update && !perturbations.empty()) {
+        std::fprintf(stderr,
+                     "refusing --update-golden with --perturb: that "
+                     "would freeze a perturbed machine as the truth\n");
+        return 2;
+    }
+
+    if (golden_dir.empty())
+        golden_dir = goldenDir();
+
+    auto selected = [&](const Scenario &s) {
+        if (fast_only && !s.fast)
+            return false;
+        if (filters.empty())
+            return true;
+        for (const auto &f : filters)
+            if (s.name.find(f) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    if (list) {
+        for (const auto &s : allScenarios()) {
+            if (!selected(s))
+                continue;
+            std::printf("%-22s %-5s %s\n", s.name.c_str(),
+                        s.fast ? "fast" : "slow", s.title.c_str());
+        }
+        return 0;
+    }
+
+    ScenarioOptions opts;
+    if (!perturbations.empty()) {
+        opts.config_hook = [perturbations](machine::CedarConfig &cfg) {
+            for (const auto &p : perturbations)
+                for (const auto &k : knobs())
+                    if (p.key == k.key)
+                        k.set(cfg, p.value);
+        };
+    }
+
+    unsigned ran = 0, failed = 0;
+    Json report = Json::array();
+    for (const auto &s : allScenarios()) {
+        if (!selected(s))
+            continue;
+        ++ran;
+
+        Metrics metrics;
+        try {
+            if (verbose) {
+                metrics = runScenario(s, opts);
+            } else {
+                StdoutSilencer quiet;
+                metrics = runScenario(s, opts);
+            }
+        } catch (const std::exception &e) {
+            ++failed;
+            std::fprintf(stderr, "FAIL %s: scenario threw: %s\n",
+                         s.name.c_str(), e.what());
+            continue;
+        }
+
+        std::string path = goldenPath(golden_dir, s.name);
+        if (update) {
+            saveGolden(path, goldenFromRun(s, metrics));
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+            continue;
+        }
+
+        CheckResult result;
+        try {
+            result = checkAgainstGolden(loadGolden(path), metrics);
+        } catch (const std::exception &e) {
+            ++failed;
+            std::fprintf(stderr, "FAIL %s: %s\n", s.name.c_str(),
+                         e.what());
+            continue;
+        }
+
+        unsigned checked = unsigned(result.cells.size());
+        if (!result.ok()) {
+            ++failed;
+            std::fprintf(stderr, "FAIL %s: %u of %u cells out of "
+                                 "band\n%s",
+                         s.name.c_str(),
+                         result.failures +
+                             unsigned(result.unknown_cells.size()),
+                         checked, describeFailures(result).c_str());
+        } else {
+            std::fprintf(stderr, "ok   %-22s %3u cells\n",
+                         s.name.c_str(), checked);
+        }
+
+        if (json) {
+            Json sj = Json::object();
+            sj.set("scenario", Json::of(s.name));
+            sj.set("ok", Json::of(result.ok()));
+            sj.set("failures", Json::of(double(result.failures)));
+            Json cells = Json::array();
+            for (const auto &c : result.cells) {
+                Json cj = Json::object();
+                cj.set("key", Json::of(c.key));
+                cj.set("measured", Json::of(c.measured));
+                cj.set("golden", Json::of(c.expected));
+                if (c.paper == c.paper)
+                    cj.set("paper", Json::of(c.paper));
+                cj.set("drift", Json::of(c.drift_seen));
+                cj.set("ok", Json::of(c.ok()));
+                cells.push(std::move(cj));
+            }
+            sj.set("cells", std::move(cells));
+            report.push(std::move(sj));
+        }
+    }
+
+    if (json && !update) {
+        Json top = Json::object();
+        top.set("scenarios_run", Json::of(double(ran)));
+        top.set("scenarios_failed", Json::of(double(failed)));
+        top.set("ok", Json::of(failed == 0));
+        top.set("results", std::move(report));
+        std::printf("%s\n", top.dump(2).c_str());
+    }
+
+    if (ran == 0) {
+        std::fprintf(stderr, "no scenario matched the filter\n");
+        return 2;
+    }
+    if (update)
+        return 0;
+    std::fprintf(stderr, "%u scenario(s), %u failed\n", ran, failed);
+    return failed == 0 ? 0 : 1;
+}

@@ -282,6 +282,184 @@ TEST(BandedTimed, RetiresConventionFlops)
                 0.01 * res.flops);
 }
 
+// ---------------------------------------------------------------------
+// Edge sizes and result correctness
+// ---------------------------------------------------------------------
+
+TEST(Rank64Edge, SingleStripMatrixOnEveryVersion)
+{
+    // n = strip: one vector strip per C row-block, the smallest
+    // problem every memory-system version must survive.
+    for (auto v : {Rank64Version::gm_no_prefetch,
+                   Rank64Version::gm_prefetch,
+                   Rank64Version::gm_cache}) {
+        machine::CedarMachine machine;
+        Rank64Params params;
+        params.n = 32;
+        params.clusters = 1;
+        params.version = v;
+        auto res = runRank64(machine, params);
+        EXPECT_DOUBLE_EQ(res.flops,
+                         2.0 * params.rank * params.n * params.n)
+            << rank64VersionName(v);
+        EXPECT_GT(res.elapsed(), 0u) << rank64VersionName(v);
+    }
+}
+
+TEST(Rank64Edge, PartialStripSizesAreRejected)
+{
+    // n must be a whole number of 32-word strips; a ragged size must
+    // fail loudly, not silently drop the tail columns.
+    machine::CedarMachine machine;
+    Rank64Params params;
+    params.n = 48;
+    params.clusters = 1;
+    params.version = Rank64Version::gm_no_prefetch;
+    EXPECT_THROW(runRank64(machine, params), SimError);
+}
+
+TEST(Rank64Edge, PrefetchBlockLargerThanMatrixWorks)
+{
+    machine::CedarMachine machine;
+    Rank64Params params;
+    params.n = 64;
+    params.clusters = 1;
+    params.version = Rank64Version::gm_prefetch;
+    params.prefetch_block = 256; // > n: clipped, not overrun
+    auto res = runRank64(machine, params);
+    EXPECT_DOUBLE_EQ(res.flops,
+                     2.0 * params.rank * params.n * params.n);
+}
+
+TEST(TridiagEdge, SmallestLegalProblemRuns)
+{
+    machine::CedarMachine machine;
+    TridiagParams params;
+    params.n = 32; // exactly ces * strip
+    params.ces = 1;
+    auto res = runTridiag(machine, params);
+    EXPECT_DOUBLE_EQ(res.flops, tridiagFlops(params.n));
+    EXPECT_GT(res.elapsed(), 0u);
+}
+
+TEST(TridiagEdge, UnevenPartitionIsRejected)
+{
+    // The kernel requires n to divide evenly over CEs and strips; a
+    // bad size must fail loudly, not mis-partition.
+    machine::CedarMachine machine;
+    TridiagParams params;
+    params.n = 100;
+    params.ces = 8;
+    EXPECT_THROW(runTridiag(machine, params), SimError);
+}
+
+TEST(TridiagEdge, SingleRowFunctionalCase)
+{
+    std::vector<double> dl{0}, d{3}, du{0}, x{2};
+    auto y = tridiagMatvec(dl, d, du, x);
+    ASSERT_EQ(y.size(), 1u);
+    EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST(VloadEdge, SingleBlockSingleRepetition)
+{
+    machine::CedarMachine machine;
+    VloadParams params;
+    params.ces = 1;
+    params.block = 32; // the minimum legal block (one strip)
+    params.repetitions = 1;
+    auto res = runVload(machine, params);
+    EXPECT_GE(res.requests, 1u);
+    EXPECT_GE(res.mean_latency, 8.0);
+}
+
+TEST(VloadEdge, PartialBlockSizesAreRejected)
+{
+    machine::CedarMachine machine;
+    VloadParams params;
+    params.ces = 1;
+    params.block = 1; // not a multiple of the 32-word strip
+    params.repetitions = 1;
+    EXPECT_THROW(runVload(machine, params), SimError);
+}
+
+TEST(VloadEdge, RequestCountScalesWithRepetitions)
+{
+    auto requests = [](unsigned reps) {
+        machine::CedarMachine machine;
+        VloadParams params;
+        params.ces = 1;
+        params.repetitions = reps;
+        return runVload(machine, params).requests;
+    };
+    EXPECT_EQ(requests(200), 2 * requests(100));
+}
+
+TEST(BandedEdge, FiveDiagonalCaseMatchesDirectComputation)
+{
+    // y[i] = sum_d diag[d+half][i] * x[i+d] for offsets -2..2.
+    const std::size_t n = 6;
+    std::vector<std::vector<double>> diags(5);
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = 1.0 + 0.5 * static_cast<double>(i);
+    for (int d = 0; d < 5; ++d) {
+        diags[d].resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            diags[d][i] = static_cast<double>(d + 1) +
+                          0.1 * static_cast<double>(i);
+    }
+    auto y = bandedMatvec(diags, x);
+    for (std::size_t i = 0; i < n; ++i) {
+        double expect = 0.0;
+        for (int d = -2; d <= 2; ++d) {
+            auto j = static_cast<std::ptrdiff_t>(i) + d;
+            if (j < 0 || j >= static_cast<std::ptrdiff_t>(n))
+                continue;
+            expect += diags[static_cast<std::size_t>(d + 2)][i] *
+                      x[static_cast<std::size_t>(j)];
+        }
+        EXPECT_DOUBLE_EQ(y[i], expect) << "row " << i;
+    }
+}
+
+TEST(BandedEdge, SingleElementUsesOnlyTheMainDiagonal)
+{
+    auto y = bandedMatvec({{7.0}, {5.0}, {9.0}}, {2.0});
+    ASSERT_EQ(y.size(), 1u);
+    EXPECT_DOUBLE_EQ(y[0], 10.0);
+}
+
+TEST(CgEdge, ZeroRhsConvergesImmediately)
+{
+    CgProblem problem;
+    problem.n = 64;
+    problem.m = 8;
+    std::vector<double> b(problem.n, 0.0);
+    auto result = cgSolve(problem, b, 10, 1e-12);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0u);
+    for (double xi : result.x)
+        EXPECT_DOUBLE_EQ(xi, 0.0);
+}
+
+TEST(CgEdge, OuterDiagonalVanishesWhenOffsetReachesN)
+{
+    // m = n pushes both outer diagonals off the matrix: A degenerates
+    // to the tridiagonal part.
+    CgProblem problem;
+    problem.n = 4;
+    problem.m = 4;
+    problem.center = 4.5;
+    std::vector<double> p{1, 2, 3, 4};
+    std::vector<double> q;
+    problem.matvec(p, q);
+    EXPECT_DOUBLE_EQ(q[0], 4.5 * 1 - 2);
+    EXPECT_DOUBLE_EQ(q[1], 4.5 * 2 - 1 - 3);
+    EXPECT_DOUBLE_EQ(q[2], 4.5 * 3 - 2 - 4);
+    EXPECT_DOUBLE_EQ(q[3], 4.5 * 4 - 3);
+}
+
 TEST(BandedTimed, WiderBandRunsAtHigherRate)
 {
     auto rate = [](unsigned bw) {
