@@ -1,0 +1,140 @@
+/**
+ * @file
+ * sweep_runner — fan the long validation sweeps' parameter points out
+ * over a RunPool.
+ *
+ * Where `cedar_validate --jobs N` runs whole *scenarios* concurrently,
+ * sweep_runner targets the four long sweeps (table1_rank64,
+ * ppt4_scalability, ppt5_scaled, ablation_network) whose wall time is
+ * a handful of big independent machine runs inside one scenario: it
+ * runs the scenarios one at a time with `--jobs N` handed to each
+ * scenario's *internal* sweep (ScenarioOptions::jobs). Reports are
+ * golden-checked exactly like cedar_validate and are byte-identical
+ * for every N.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cedar.hh"
+#include "exec/runpool.hh"
+#include "valid/driver.hh"
+#include "valid/scenario.hh"
+
+namespace {
+
+using namespace cedar;
+using namespace cedar::valid;
+
+/** The long sweeps this tool exists for (its default selection). */
+const char *const default_sweeps[] = {
+    "table1_rank64",
+    "ppt4_scalability",
+    "ppt5_scaled",
+    "ablation_network",
+};
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --jobs N          workers for each scenario's internal "
+        "sweep (default: CEDAR_JOBS or hardware concurrency)\n"
+        "  --filter SUBSTR   select scenarios by name substring "
+        "(repeatable; default: the four long sweeps)\n"
+        "  --list            list the default sweep scenarios and exit\n"
+        "  --json            emit the machine-readable report\n"
+        "  --golden-dir DIR  override the golden directory\n",
+        argv0);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+
+    bool list = false, json = false;
+    ValidationOptions vopts;
+    vopts.point_jobs = 0; // resolved below
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs %s\n", arg.c_str(), what);
+                std::exit(usage(argv[0], 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--jobs" || arg == "-j") {
+            const char *val = next("a worker count");
+            char *end = nullptr;
+            long v = std::strtol(val, &end, 10);
+            if (!end || *end != '\0' || v < 1 || v > 1024) {
+                std::fprintf(stderr, "--jobs wants a worker count in "
+                                     "[1, 1024], got '%s'\n",
+                             val);
+                return 2;
+            }
+            vopts.point_jobs = unsigned(v);
+        } else if (arg == "--filter") {
+            vopts.filters.push_back(next("a name substring"));
+        } else if (arg == "--golden-dir") {
+            vopts.golden_dir = next("a directory");
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    if (vopts.filters.empty()) {
+        for (const char *name : default_sweeps)
+            vopts.filters.push_back(name);
+    }
+    if (vopts.point_jobs == 0)
+        vopts.point_jobs = exec::RunPool::defaultJobs();
+
+    if (list) {
+        unsigned shown = 0;
+        for (const auto &s : allScenarios()) {
+            for (const auto &f : vopts.filters) {
+                if (s.name.find(f) == std::string::npos)
+                    continue;
+                ++shown;
+                std::printf("%-22s %-5s %s\n", s.name.c_str(),
+                            s.fast ? "fast" : "slow", s.title.c_str());
+                break;
+            }
+        }
+        if (shown == 0) {
+            std::fprintf(stderr, "no scenario matched the filter\n");
+            return 2;
+        }
+        return 0;
+    }
+
+    // One scenario at a time; the parallelism lives inside each
+    // scenario's point sweep. Running scenarios concurrently *and*
+    // points concurrently would just oversubscribe the machine.
+    vopts.jobs = 1;
+
+    ValidationReport report = runValidation(vopts);
+    std::fputs(report.logText().c_str(), stderr);
+    if (json)
+        std::printf("%s\n", report.jsonReport().dump(2).c_str());
+    return report.exitCode();
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-run execution context for the sweep executor.
+ *
+ * A RunContext is the complete per-run bundle a task receives from a
+ * RunPool (or from the inline serial path): its submission index, a
+ * seed derived deterministically from the pool's master seed and that
+ * index, and a cancellation probe. Everything else a run needs — the
+ * Machine, its StatRegistry, fault injectors, event pools — must be
+ * constructed *inside* the task from these values, never reached
+ * through process globals. That ownership rule is what makes a run
+ * executed on worker 7 of 8 bit-identical to the same run executed
+ * serially: the only inputs are (index, seed, the task's own captured
+ * parameters), and none of them depend on scheduling order.
+ *
+ * DESIGN.md §10 "Execution model" records what may and may not be
+ * global under this contract.
+ */
+
+#ifndef CEDARSIM_EXEC_RUNCONTEXT_HH
+#define CEDARSIM_EXEC_RUNCONTEXT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cedar::exec {
+
+/** Master seed used when a caller does not supply one. */
+constexpr std::uint64_t default_master_seed = 0xCEDAE8ECULL;
+
+/**
+ * Derive the seed of run @p index from @p master (SplitMix64 mixing).
+ * Pure function of its arguments: run 5 gets the same seed whether it
+ * executes first, last, serially, or on any worker, and neighbouring
+ * indices get statistically independent streams.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t master, std::size_t index)
+{
+    std::uint64_t z =
+        master + 0x9E3779B97F4A7C15ULL * (std::uint64_t(index) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/** What one submitted run is given to execute with. */
+struct RunContext
+{
+    /** Submission order of this run (also its result slot). */
+    std::size_t index = 0;
+
+    /** Per-run seed: deriveSeed(master_seed, index). */
+    std::uint64_t seed = 0;
+
+    /**
+     * Pool-wide cancellation flag (nullptr on the inline serial
+     * path). Long-running tasks may poll cancelled() and return early
+     * after a sibling run has raised a hard SimError; the partial
+     * result is discarded, so an early return only saves host time.
+     */
+    const std::atomic<bool> *cancel_flag = nullptr;
+
+    bool
+    cancelled() const
+    {
+        return cancel_flag &&
+               cancel_flag->load(std::memory_order_relaxed);
+    }
+};
+
+} // namespace cedar::exec
+
+#endif // CEDARSIM_EXEC_RUNCONTEXT_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Work-stealing run pool implementation.
+ */
+
+#include "runpool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace cedar::exec {
+
+unsigned
+RunPool::defaultJobs()
+{
+    if (const char *env = std::getenv("CEDAR_JOBS"); env && *env) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return unsigned(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 2;
+}
+
+RunPool::RunPool(unsigned workers, std::size_t queue_bound,
+                 std::uint64_t master_seed)
+    : _master_seed(master_seed)
+{
+    if (workers == 0)
+        workers = defaultJobs();
+    _queue_bound = queue_bound ? queue_bound
+                               : std::max<std::size_t>(4 * workers, 16);
+    _queues.resize(workers);
+    _threads.reserve(workers);
+    for (unsigned id = 0; id < workers; ++id)
+        _threads.emplace_back([this, id] { workerLoop(id); });
+}
+
+RunPool::~RunPool()
+{
+    cancel();
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _shutdown = true;
+    }
+    _work_cv.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+std::size_t
+RunPool::submit(Task task)
+{
+    sim_assert(task, "RunPool::submit needs a callable run");
+    std::unique_lock<std::mutex> lock(_mu);
+    sim_assert(!_shutdown, "submit on a shut-down RunPool");
+    _space_cv.wait(lock, [this] {
+        return _backlog < _queue_bound || cancelled();
+    });
+    std::size_t index = _submitted++;
+    // Deterministic home assignment; where the run *executes* is up to
+    // the thieves, which is fine because execution order is invisible
+    // in the merged output.
+    unsigned home = _next_home;
+    _next_home = (_next_home + 1) % unsigned(_queues.size());
+    _queues[home].push_back(Pending{std::move(task), index});
+    ++_backlog;
+    lock.unlock();
+    _work_cv.notify_one();
+    return index;
+}
+
+bool
+RunPool::takeLocked(unsigned id, Pending &out, bool &stolen)
+{
+    auto &own = _queues[id];
+    if (!own.empty()) {
+        out = std::move(own.back());
+        own.pop_back();
+        stolen = false;
+        return true;
+    }
+    std::size_t victim = _queues.size();
+    std::size_t best = 0;
+    for (std::size_t v = 0; v < _queues.size(); ++v) {
+        if (v != id && _queues[v].size() > best) {
+            best = _queues[v].size();
+            victim = v;
+        }
+    }
+    if (victim == _queues.size())
+        return false;
+    out = std::move(_queues[victim].front());
+    _queues[victim].pop_front();
+    stolen = true;
+    return true;
+}
+
+void
+RunPool::workerLoop(unsigned id)
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    while (true) {
+        Pending run;
+        bool stolen = false;
+        if (!takeLocked(id, run, stolen)) {
+            if (_shutdown)
+                return;
+            _work_cv.wait(lock);
+            continue;
+        }
+        --_backlog;
+        if (stolen)
+            ++_steals;
+        bool skip = cancelled();
+        if (skip)
+            ++_skipped;
+        lock.unlock();
+        _space_cv.notify_one();
+
+        if (!skip) {
+            RunContext ctx;
+            ctx.index = run.index;
+            ctx.seed = deriveSeed(_master_seed, run.index);
+            ctx.cancel_flag = &_cancelled;
+            try {
+                run.fn(ctx);
+            } catch (...) {
+                recordError(run.index, std::current_exception());
+                cancel();
+            }
+        }
+
+        lock.lock();
+        ++_finished;
+        if (_finished == _submitted)
+            _done_cv.notify_all();
+    }
+}
+
+void
+RunPool::recordError(std::size_t index, std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    if (index < _first_error_index) {
+        _first_error_index = index;
+        _first_error = std::move(error);
+    }
+}
+
+void
+RunPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    _done_cv.wait(lock, [this] { return _finished == _submitted; });
+}
+
+void
+RunPool::cancel()
+{
+    _cancelled.store(true, std::memory_order_relaxed);
+    _space_cv.notify_all();
+}
+
+void
+RunPool::rethrowFirstError()
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    if (_first_error)
+        std::rethrow_exception(_first_error);
+}
+
+std::exception_ptr
+RunPool::firstError() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _first_error;
+}
+
+std::size_t
+RunPool::firstErrorIndex() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _first_error_index;
+}
+
+std::uint64_t
+RunPool::stealCount() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _steals;
+}
+
+std::uint64_t
+RunPool::skippedCount() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _skipped;
+}
+
+} // namespace cedar::exec

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A work-stealing thread pool for independent simulation runs.
+ *
+ * Every parameter point of a sweep — one Machine, one StatRegistry,
+ * one seed — is an independent run, so the harness rather than the
+ * model owns the concurrency: a RunPool executes submitted runs on N
+ * workers while the per-run RunContext contract (see runcontext.hh)
+ * keeps each run bit-identical to its serial execution.
+ *
+ * Shape:
+ *  - each worker owns a deque; submissions are dealt round-robin to
+ *    the workers' home deques (a deterministic assignment), and a
+ *    bounded total backlog makes submit() block rather than buffer an
+ *    unbounded sweep;
+ *  - an idle worker first drains its own deque LIFO, then steals the
+ *    oldest run from the most loaded sibling (FIFO), so long tails
+ *    migrate to whoever is free;
+ *  - the first run that throws cancels the pool: not-yet-started runs
+ *    are skipped, wait() completes, and rethrowFirstError() raises
+ *    the recorded error (lowest submission index among those that
+ *    actually failed) in the submitting thread.
+ *
+ * The pool makes no fairness or ordering promise between runs — that
+ * is the point. Deterministic *output* ordering is the caller's job:
+ * collect results by submission index and emit them in index order
+ * (parallel.hh's parallelMap does exactly this).
+ */
+
+#ifndef CEDARSIM_EXEC_RUNPOOL_HH
+#define CEDARSIM_EXEC_RUNPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/runcontext.hh"
+
+namespace cedar::exec {
+
+/** Work-stealing executor of independent runs. */
+class RunPool
+{
+  public:
+    using Task = std::function<void(RunContext &)>;
+
+    /**
+     * @param workers     worker threads (0 picks defaultJobs())
+     * @param queue_bound max runs queued but not yet started before
+     *                    submit() blocks (0 picks a small multiple of
+     *                    the worker count)
+     * @param master_seed seed every run's RunContext::seed derives from
+     */
+    explicit RunPool(unsigned workers, std::size_t queue_bound = 0,
+                     std::uint64_t master_seed = default_master_seed);
+
+    /** Cancels outstanding runs and joins the workers. */
+    ~RunPool();
+
+    RunPool(const RunPool &) = delete;
+    RunPool &operator=(const RunPool &) = delete;
+
+    /**
+     * Submit one run. Blocks while the backlog is at the bound.
+     * @return the run's submission index (its RunContext::index)
+     */
+    std::size_t submit(Task task);
+
+    /** Block until every submitted run has finished or been skipped. */
+    void wait();
+
+    /** Skip every run that has not started yet. */
+    void cancel();
+
+    /** True once cancel() ran (explicitly or after a run threw). */
+    bool
+    cancelled() const
+    {
+        return _cancelled.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * After wait(): rethrow the recorded error, if any. Of the runs
+     * that failed, the one with the lowest submission index wins, so
+     * a deterministic serial replay reports the same run first.
+     */
+    void rethrowFirstError();
+
+    /** Error of the winning failed run (nullptr when all clean). */
+    std::exception_ptr firstError() const;
+
+    /** Submission index of the winning failed run. */
+    std::size_t firstErrorIndex() const;
+
+    unsigned workers() const { return unsigned(_threads.size()); }
+
+    /** Runs executed by a worker other than their home worker. */
+    std::uint64_t stealCount() const;
+
+    /** Runs that were skipped because the pool was cancelled. */
+    std::uint64_t skippedCount() const;
+
+    /**
+     * Worker count when the caller does not choose: $CEDAR_JOBS if
+     * set and positive, else std::thread::hardware_concurrency(),
+     * else 2.
+     */
+    static unsigned defaultJobs();
+
+  private:
+    struct Pending
+    {
+        Task fn;
+        std::size_t index;
+    };
+
+    void workerLoop(unsigned id);
+
+    /** Pop a run for worker @p id: own deque LIFO, else steal FIFO
+     *  from the most loaded sibling. Caller holds _mu. */
+    bool takeLocked(unsigned id, Pending &out, bool &stolen);
+
+    void recordError(std::size_t index, std::exception_ptr error);
+
+    std::uint64_t _master_seed;
+    std::size_t _queue_bound;
+
+    mutable std::mutex _mu;
+    std::condition_variable _work_cv;  ///< workers wait for runs
+    std::condition_variable _space_cv; ///< submit waits for backlog room
+    std::condition_variable _done_cv;  ///< wait() waits for completion
+
+    /** One home deque per worker; all guarded by _mu (run granularity
+     *  is whole simulations, so the lock is never contended enough to
+     *  matter, and a single lock keeps the pool easy to reason about
+     *  and trivially clean under TSan). */
+    std::vector<std::deque<Pending>> _queues;
+    std::vector<std::thread> _threads;
+
+    std::size_t _submitted = 0;
+    std::size_t _finished = 0; ///< completed, failed, or skipped
+    std::size_t _backlog = 0;  ///< queued, not yet started
+    unsigned _next_home = 0;
+    bool _shutdown = false;
+
+    std::atomic<bool> _cancelled{false};
+    std::exception_ptr _first_error;
+    std::size_t _first_error_index = ~std::size_t(0);
+    std::uint64_t _steals = 0;
+    std::uint64_t _skipped = 0;
+};
+
+} // namespace cedar::exec
+
+#endif // CEDARSIM_EXEC_RUNPOOL_HH

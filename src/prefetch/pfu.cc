@@ -76,6 +76,27 @@ PrefetchUnit::beginFire(Addr start, unsigned length, unsigned stride,
     _sim.reschedule(_issue_event, when);
 }
 
+void
+PrefetchUnit::fireSynthetic(const std::vector<Tick> &arrivals)
+{
+    sim_assert(arrivals.size() <= _params.buffer_words,
+               "synthetic prefetch of ", arrivals.size(),
+               " words exceeds the ", _params.buffer_words,
+               "-word buffer");
+    _mask.clear();
+    _start = 0;
+    _stride = 1;
+    _length = static_cast<unsigned>(arrivals.size());
+    _next_issue = _length;
+    _arrivals = arrivals;
+    _request_arrivals = arrivals;
+    _arrived = _length;
+    _enabled_count = _length;
+    if (_issue_event.scheduled())
+        _sim.deschedule(_issue_event);
+    answerQueries();
+}
+
 bool
 PrefetchUnit::enabled(unsigned index) const
 {

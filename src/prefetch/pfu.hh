@@ -94,6 +94,15 @@ class PrefetchUnit : public Named
                     const std::vector<bool> &mask, Tick when);
 
     /**
+     * Test hook: install a completed prefetch whose words arrived at
+     * the given ticks, bypassing the memory path. The reservation-timed
+     * network delivers one port's responses in issue order, so this is
+     * the only way to exercise the full/empty-bit consumption fold
+     * against genuinely out-of-order arrivals.
+     */
+    void fireSynthetic(const std::vector<Tick> &arrivals);
+
+    /**
      * Reuse the current buffer contents without refetching ("it is
      * possible to keep prefetched data in that buffer and reuse it
      * from there") — returns true if [first, first+count) is covered

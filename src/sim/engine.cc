@@ -13,8 +13,8 @@
 
 namespace cedar {
 
-std::uint64_t Simulation::s_global_events = 0;
-std::uint64_t Simulation::s_global_host_ns = 0;
+std::atomic<std::uint64_t> Simulation::s_global_events{0};
+std::atomic<std::uint64_t> Simulation::s_global_host_ns{0};
 
 Event::~Event()
 {
@@ -152,7 +152,8 @@ namespace {
 /** Accumulates run-loop wall time on every exit path, throws included. */
 struct HostTimeScope
 {
-    explicit HostTimeScope(std::uint64_t &sink, std::uint64_t &global)
+    explicit HostTimeScope(std::uint64_t &sink,
+                           std::atomic<std::uint64_t> &global)
         : _sink(sink), _global(global),
           _start(std::chrono::steady_clock::now())
     {
@@ -164,11 +165,12 @@ struct HostTimeScope
                       std::chrono::steady_clock::now() - _start)
                       .count();
         _sink += static_cast<std::uint64_t>(ns);
-        _global += static_cast<std::uint64_t>(ns);
+        _global.fetch_add(static_cast<std::uint64_t>(ns),
+                          std::memory_order_relaxed);
     }
 
     std::uint64_t &_sink;
-    std::uint64_t &_global;
+    std::atomic<std::uint64_t> &_global;
     std::chrono::steady_clock::time_point _start;
 };
 
@@ -187,7 +189,8 @@ Simulation::runUntil(Tick limit)
             // Leave future events queued; advance time to the horizon so
             // repeated runUntil() calls compose naturally.
             _now = limit;
-            s_global_events += _events_executed - events_at_entry;
+            s_global_events.fetch_add(_events_executed - events_at_entry,
+                                      std::memory_order_relaxed);
             return _now;
         }
         Event *ev = popTop();
@@ -207,7 +210,8 @@ Simulation::runUntil(Tick limit)
     }
     if (_watchdog && _heap.empty() && !_stop_requested)
         _watchdog->onDrain(_now);
-    s_global_events += _events_executed - events_at_entry;
+    s_global_events.fetch_add(_events_executed - events_at_entry,
+                              std::memory_order_relaxed);
     return _now;
 }
 

@@ -14,6 +14,7 @@
 #ifndef CEDARSIM_SIM_ENGINE_HH
 #define CEDARSIM_SIM_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -146,10 +147,18 @@ class Simulation
     std::uint64_t callbackPoolReuses() const { return _pool_reuses; }
 
     /** Events executed by every Simulation in this process. */
-    static std::uint64_t globalEventsExecuted() { return s_global_events; }
+    static std::uint64_t
+    globalEventsExecuted()
+    {
+        return s_global_events.load(std::memory_order_relaxed);
+    }
 
     /** Host seconds spent in run loops by every Simulation. */
-    static double globalHostSeconds() { return s_global_host_ns * 1e-9; }
+    static double
+    globalHostSeconds()
+    {
+        return s_global_host_ns.load(std::memory_order_relaxed) * 1e-9;
+    }
 
     /** Guard against runaway simulations; 0 disables the limit. */
     void setEventLimit(std::uint64_t limit) { _event_limit = limit; }
@@ -210,10 +219,13 @@ class Simulation
     CallbackEvent *_free_callbacks = nullptr;
     std::uint64_t _pool_reuses = 0;
 
-    /** Host-time accounting, per engine and process-wide. */
+    /** Host-time accounting, per engine and process-wide. The
+     *  process-wide totals are atomic because engines on concurrent
+     *  RunPool workers all add to them; they are reporting aggregates
+     *  only and never feed back into simulated behaviour. */
     std::uint64_t _host_ns = 0;
-    static std::uint64_t s_global_events;
-    static std::uint64_t s_global_host_ns;
+    static std::atomic<std::uint64_t> s_global_events;
+    static std::atomic<std::uint64_t> s_global_host_ns;
 };
 
 } // namespace cedar

@@ -12,7 +12,10 @@ namespace cedar {
 
 namespace {
 
-Tick current_tick = 0;
+/** Per-thread: concurrent RunPool workers each drive their own
+ *  Simulation, and an error raised on one must be stamped with that
+ *  run's simulated time, not a sibling's. */
+thread_local Tick current_tick = 0;
 
 std::string
 formatWhat(SimError::Kind kind, const std::string &component, Tick tick,

@@ -5,6 +5,7 @@
 
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,19 +14,22 @@
 namespace cedar {
 
 namespace {
-bool quiet_mode = false;
+// Atomic so a warn() on a RunPool worker may read it while the
+// driver thread is (atypically) still configuring; quiet mode is
+// process-wide policy, not per-run state.
+std::atomic<bool> quiet_mode{false};
 }
 
 void
 setLogQuiet(bool quiet)
 {
-    quiet_mode = quiet;
+    quiet_mode.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 logQuiet()
 {
-    return quiet_mode;
+    return quiet_mode.load(std::memory_order_relaxed);
 }
 
 namespace logging_detail {

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace cedar::trace {
 
@@ -18,6 +19,12 @@ constexpr const char *flag_names[num_flags] = {
 };
 
 std::ostream *output = nullptr; // nullptr means stderr
+
+/** The sink is shared by every simulation in the process; when traced
+ *  runs execute on RunPool workers, whole lines must not interleave
+ *  mid-stream. Flag/sink *configuration* is still serial-phase-only
+ *  (see DESIGN.md §10). */
+std::mutex print_mu;
 
 /** Parse CEDAR_DEBUG once at startup. */
 unsigned
@@ -120,6 +127,7 @@ setOutput(std::ostream *os)
 void
 print(Tick when, const std::string &who, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(print_mu);
     std::ostream &os = output ? *output : std::cerr;
     os << when << ": " << who << ": " << msg << "\n";
 }

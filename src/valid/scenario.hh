@@ -87,12 +87,29 @@ struct ScenarioOptions
     /**
      * Applied to every machine configuration the scenario builds —
      * the injected-regression hook `cedar_validate --perturb` uses to
-     * prove the suite catches model changes.
+     * prove the suite catches model changes. Sweep scenarios apply it
+     * from RunPool workers, so the hook must be re-entrant (pure
+     * function of the config it is handed; no mutable captures).
      */
     std::function<void(machine::CedarConfig &)> config_hook;
+    /**
+     * Worker budget for the scenario's *internal* parameter sweep
+     * (exec::parallelMap over independent machine runs). 1 keeps the
+     * literal serial path; results are bit-identical either way.
+     */
+    unsigned jobs = 1;
 };
 
-/** Handed to a scenario's run function; collects cells and metrics. */
+/**
+ * Handed to a scenario's run function; collects cells and metrics.
+ *
+ * Not thread-safe by design: cell(), metric(), and note() must only be
+ * called from the thread running the scenario. A sweep scenario that
+ * fans its points out over jobs() workers returns plain values from
+ * each point task and emits cells in a serial reduce afterwards, so
+ * cell order — and therefore golden files and JSON reports — is
+ * independent of worker scheduling (DESIGN.md §10).
+ */
 class ScenarioContext
 {
   public:
@@ -107,6 +124,9 @@ class ScenarioContext
 
     /** True when the run uses canonical parameters (goldens apply). */
     bool canonical() const { return _opts.size == 0; }
+
+    /** Worker budget for the scenario's internal parameter sweep. */
+    unsigned jobs() const { return _opts.jobs ? _opts.jobs : 1; }
 
     /** The standard machine configuration with any perturbation. */
     machine::CedarConfig

@@ -9,9 +9,12 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/cedar.hh"
+#include "exec/parallel.hh"
 #include "valid/scenario.hh"
 
 namespace cedar::valid {
@@ -39,13 +42,61 @@ runAblationNetwork(ScenarioContext &ctx)
     std::printf("Network / prefetch ablations (rank-64 GM/pref, 4 "
                 "clusters; paper Table 1 value: 104 MFLOPS)\n\n");
 
+    // All fourteen ablation points are independent machine runs; fan
+    // them out, then print tables and emit cells from the merged
+    // results in the original order (byte-identical for any jobs).
+    std::vector<std::function<double(exec::RunContext &)>> tasks;
+    auto point = [&tasks](std::function<double()> fn) {
+        std::size_t index = tasks.size();
+        tasks.push_back(
+            [fn = std::move(fn)](exec::RunContext &) { return fn(); });
+        return index;
+    };
+
+    std::size_t conflict_at[4], modules_at[3], pacing_at[4] = {},
+                                               block_at[4];
+    for (Cycles extra : {0u, 1u, 2u, 3u}) {
+        conflict_at[extra] = point([&ctx, extra] {
+            machine::CedarConfig cfg;
+            cfg.gm.module_conflict_extra = extra;
+            return rank64Mflops(ctx, cfg, 256);
+        });
+    }
+    {
+        const std::pair<unsigned, Cycles> shapes[3] = {
+            {16, 1}, {32, 2}, {32, 1}};
+        for (int i = 0; i < 3; ++i) {
+            modules_at[i] = point([&ctx, shape = shapes[i]] {
+                machine::CedarConfig cfg;
+                cfg.gm.num_modules = shape.first;
+                cfg.gm.module_access_cycles = shape.second;
+                return rank64Mflops(ctx, cfg, 256);
+            });
+        }
+    }
+    for (Cycles interval : {1u, 2u, 3u}) {
+        pacing_at[interval] = point([&ctx, interval] {
+            machine::CedarConfig cfg;
+            cfg.cluster.pfu.issue_interval = interval;
+            return rank64Mflops(ctx, cfg, 256);
+        });
+    }
+    {
+        const unsigned blocks[4] = {32, 64, 128, 256};
+        for (int i = 0; i < 4; ++i) {
+            block_at[i] = point([&ctx, block = blocks[i]] {
+                machine::CedarConfig cfg;
+                return rank64Mflops(ctx, cfg, block);
+            });
+        }
+    }
+    auto rates = exec::parallelMap<double>(ctx.jobs(), std::move(tasks));
+
     double conflict_rate[4];
     {
         core::TableWriter t({"module conflict extra (cycles)", "MFLOPS"});
         for (Cycles extra : {0u, 1u, 2u, 3u}) {
-            machine::CedarConfig cfg;
-            cfg.gm.module_conflict_extra = extra;
-            double rate = rank64Mflops(ctx, cfg, 256);
+            double rate = rates[conflict_at[extra]];
             conflict_rate[extra] = rate;
             ctx.cell("conflict_extra_" + std::to_string(extra) +
                          "_mflops",
@@ -76,12 +127,10 @@ runAblationNetwork(ScenarioContext &ctx)
     {
         core::TableWriter t(
             {"modules x access cycles", "peak w/cyc", "MFLOPS"});
+        int shape = 0;
         for (auto [mods, access] :
              {std::pair<unsigned, Cycles>{16, 1}, {32, 2}, {32, 1}}) {
-            machine::CedarConfig cfg;
-            cfg.gm.num_modules = mods;
-            cfg.gm.module_access_cycles = access;
-            double rate = rank64Mflops(ctx, cfg, 256);
+            double rate = rates[modules_at[shape++]];
             ctx.cell("modules_" + std::to_string(mods) + "x" +
                          std::to_string(access) + "_mflops",
                      rate,
@@ -101,11 +150,9 @@ runAblationNetwork(ScenarioContext &ctx)
         core::TableWriter t({"PFU issue interval", "per-CE MB/s",
                              "MFLOPS"});
         for (Cycles interval : {1u, 2u, 3u}) {
-            machine::CedarConfig cfg;
-            cfg.cluster.pfu.issue_interval = interval;
             double mb =
                 bytes_per_word / (interval * ce_cycle_ns * 1e-9) / 1e6;
-            double rate = rank64Mflops(ctx, cfg, 256);
+            double rate = rates[pacing_at[interval]];
             pacing_rate[interval] = rate;
             ctx.cell("pacing_" + std::to_string(interval) + "_mflops",
                      rate,
@@ -127,9 +174,9 @@ runAblationNetwork(ScenarioContext &ctx)
     double block_rate_32 = 0.0, block_rate_256 = 0.0;
     {
         core::TableWriter t({"prefetch block (words)", "MFLOPS"});
+        int bi = 0;
         for (unsigned block : {32u, 64u, 128u, 256u}) {
-            machine::CedarConfig cfg;
-            double rate = rank64Mflops(ctx, cfg, block);
+            double rate = rates[block_at[bi++]];
             if (block == 32)
                 block_rate_32 = rate;
             if (block == 256)

@@ -9,8 +9,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "core/cedar.hh"
+#include "exec/parallel.hh"
 #include "valid/scenario.hh"
 
 namespace cedar::valid {
@@ -42,31 +45,53 @@ runPpt4(ScenarioContext &ctx)
     std::vector<method::ScalePoint> points;
     double mflops_min_32 = 1e9, mflops_max_32 = 0.0;
 
-    for (unsigned n : sizes) {
-        for (unsigned p : procs) {
-            if (n % (p * 32) != 0)
-                continue;
+    // Enumerate the admissible (N, P) grid first, run the points as
+    // independent tasks, then reduce in grid order so the table,
+    // ScalePoint list, and min/max never depend on completion order.
+    struct CgPoint
+    {
+        unsigned n, p;
+    };
+    struct CgRun
+    {
+        double rate = 0.0, seconds = 0.0;
+    };
+    std::vector<CgPoint> grid;
+    for (unsigned n : sizes)
+        for (unsigned p : procs)
+            if (n % (p * 32) == 0)
+                grid.push_back({n, p});
+
+    std::vector<std::function<CgRun(exec::RunContext &)>> tasks;
+    tasks.reserve(grid.size());
+    for (const CgPoint pt : grid) {
+        tasks.push_back([&ctx, pt](exec::RunContext &) {
             machine::CedarMachine machine(ctx.config());
             kernels::CgTimedParams params;
-            params.n = n;
+            params.n = pt.n;
             params.m = 128;
-            params.ces = p;
+            params.ces = pt.p;
             params.iterations = 2;
             auto res = kernels::runCgTimed(machine, params);
-            double rate = res.mflopsRate();
-            double serial =
-                cgSerialEstimateSeconds(n, params.iterations);
-            double spd = serial / res.seconds();
-            points.push_back(method::ScalePoint{p, double(n), spd});
-            if (p == 32 && n >= 10240) {
-                // The paper quotes the 32-CE rate range for 10K..172K.
-                mflops_min_32 = std::min(mflops_min_32, rate);
-                mflops_max_32 = std::max(mflops_max_32, rate);
-            }
-            table.row({core::fmt(n, 0), core::fmt(p, 0),
-                       core::fmt(rate), core::fmt(spd),
-                       method::bandName(method::classify(spd, p))});
+            return CgRun{res.mflopsRate(), res.seconds()};
+        });
+    }
+    auto runs = exec::parallelMap<CgRun>(ctx.jobs(), std::move(tasks));
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const unsigned n = grid[i].n, p = grid[i].p;
+        double rate = runs[i].rate;
+        double serial = cgSerialEstimateSeconds(n, 2);
+        double spd = serial / runs[i].seconds;
+        points.push_back(method::ScalePoint{p, double(n), spd});
+        if (p == 32 && n >= 10240) {
+            // The paper quotes the 32-CE rate range for 10K..172K.
+            mflops_min_32 = std::min(mflops_min_32, rate);
+            mflops_max_32 = std::max(mflops_max_32, rate);
         }
+        table.row({core::fmt(n, 0), core::fmt(p, 0), core::fmt(rate),
+                   core::fmt(spd),
+                   method::bandName(method::classify(spd, p))});
     }
     table.print();
 
@@ -116,16 +141,28 @@ runPpt4(ScenarioContext &ctx)
     std::printf("\nCedar banded matrix-vector (extension, same "
                 "computation as the CM-5 rows):\n");
     core::TableWriter banded_table({"BW", "N", "32-CE MFLOPS"});
+    std::vector<std::function<double(exec::RunContext &)>> banded_tasks;
     for (unsigned bw : {3u, 11u}) {
         for (unsigned n : {16384u, 65536u, 262144u}) {
-            machine::CedarMachine machine(ctx.config());
-            kernels::BandedParams bparams;
-            bparams.n = n;
-            bparams.bandwidth = bw;
-            bparams.ces = 32;
-            auto res = kernels::runBanded(machine, bparams);
-            banded_table.row({core::fmt(bw, 0), core::fmt(n, 0),
-                              core::fmt(res.mflopsRate())});
+            banded_tasks.push_back([&ctx, bw, n](exec::RunContext &) {
+                machine::CedarMachine machine(ctx.config());
+                kernels::BandedParams bparams;
+                bparams.n = n;
+                bparams.bandwidth = bw;
+                bparams.ces = 32;
+                return kernels::runBanded(machine, bparams).mflopsRate();
+            });
+        }
+    }
+    auto banded_rates =
+        exec::parallelMap<double>(ctx.jobs(), std::move(banded_tasks));
+    {
+        std::size_t i = 0;
+        for (unsigned bw : {3u, 11u}) {
+            for (unsigned n : {16384u, 65536u, 262144u}) {
+                banded_table.row({core::fmt(bw, 0), core::fmt(n, 0),
+                                  core::fmt(banded_rates[i++])});
+            }
         }
     }
     banded_table.print();

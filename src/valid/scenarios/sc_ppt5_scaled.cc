@@ -10,9 +10,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/cedar.hh"
+#include "exec/parallel.hh"
 #include "valid/scenario.hh"
 
 namespace cedar::valid {
@@ -48,33 +51,42 @@ runPpt5(ScenarioContext &ctx)
     core::TableWriter table({"CEs", "peak MFL", "RK/pref MFL",
                              "RK/cache MFL", "cache eff", "CG MFL",
                              "CG band"});
-    for (unsigned clusters : {4u, 8u, 16u}) {
-        auto cfg = scaledConfig(ctx, clusters);
-        unsigned ces = cfg.numCes();
 
+    // Nine independent runs (three scaled shapes x three kernels);
+    // each task builds its own machine from its own config copy.
+    const unsigned shapes[3] = {4u, 8u, 16u};
+    auto rank64Task = [&ctx](unsigned clusters,
+                             kernels::Rank64Version version) {
+        return [&ctx, clusters,
+                version](exec::RunContext &) -> double {
+            auto cfg = scaledConfig(ctx, clusters);
+            machine::CedarMachine machine(cfg);
+            kernels::Rank64Params params;
+            params.n = 512;
+            params.clusters = clusters;
+            params.version = version;
+            return kernels::runRank64(machine, params).mflopsRate();
+        };
+    };
+    std::vector<std::function<double(exec::RunContext &)>> tasks;
+    for (unsigned clusters : shapes) {
         // Rank-64 with prefetch: stresses the shared global memory.
-        double pref_rate;
-        {
-            machine::CedarMachine machine(cfg);
-            kernels::Rank64Params params;
-            params.n = 512;
-            params.clusters = clusters;
-            params.version = kernels::Rank64Version::gm_prefetch;
-            pref_rate = kernels::runRank64(machine, params).mflopsRate();
-        }
+        tasks.push_back(
+            rank64Task(clusters, kernels::Rank64Version::gm_prefetch));
         // Rank-64 from cache: the scalable path.
-        double cache_rate;
-        {
-            machine::CedarMachine machine(cfg);
-            kernels::Rank64Params params;
-            params.n = 512;
-            params.clusters = clusters;
-            params.version = kernels::Rank64Version::gm_cache;
-            cache_rate = kernels::runRank64(machine, params).mflopsRate();
-        }
-        // CG at a proportionally scaled problem.
-        double cg_rate, cg_speedup;
-        {
+        tasks.push_back(
+            rank64Task(clusters, kernels::Rank64Version::gm_cache));
+    }
+    // CG at a proportionally scaled problem.
+    struct CgRun
+    {
+        double rate = 0.0, speedup = 0.0;
+    };
+    std::vector<std::function<CgRun(exec::RunContext &)>> cg_tasks;
+    for (unsigned clusters : shapes) {
+        cg_tasks.push_back([&ctx, clusters](exec::RunContext &) {
+            auto cfg = scaledConfig(ctx, clusters);
+            unsigned ces = cfg.numCes();
             machine::CedarMachine machine(cfg);
             kernels::CgTimedParams params;
             params.n = 2048 * ces;
@@ -82,9 +94,22 @@ runPpt5(ScenarioContext &ctx)
             params.ces = ces;
             params.iterations = 1;
             auto res = kernels::runCgTimed(machine, params);
-            cg_rate = res.mflopsRate();
-            cg_speedup = res.flops / 2.3e6 / res.seconds();
-        }
+            return CgRun{res.mflopsRate(),
+                         res.flops / 2.3e6 / res.seconds()};
+        });
+    }
+    auto rk_rates = exec::parallelMap<double>(ctx.jobs(), std::move(tasks));
+    auto cg_runs =
+        exec::parallelMap<CgRun>(ctx.jobs(), std::move(cg_tasks));
+
+    for (int s = 0; s < 3; ++s) {
+        const unsigned clusters = shapes[s];
+        auto cfg = scaledConfig(ctx, clusters);
+        unsigned ces = cfg.numCes();
+        double pref_rate = rk_rates[std::size_t(s) * 2];
+        double cache_rate = rk_rates[std::size_t(s) * 2 + 1];
+        double cg_rate = cg_runs[s].rate;
+        double cg_speedup = cg_runs[s].speedup;
         auto cg_band = method::classify(cg_speedup, ces);
         double cache_eff = cache_rate / cfg.effectivePeakMflops();
         if (clusters == 4)

@@ -12,9 +12,12 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/cedar.hh"
+#include "exec/parallel.hh"
 #include "valid/scenario.hh"
 
 namespace cedar::valid {
@@ -47,16 +50,30 @@ runTable1(ScenarioContext &ctx)
     };
     const char *keys[3] = {"gm_nopref", "gm_pref", "gm_cache"};
 
+    // The 12 (version, clusters) points are independent runs: each
+    // task builds its own machine and returns one rate. The printed
+    // table and the cells below read `measured` in a fixed order, so
+    // output is byte-identical for any ctx.jobs().
+    std::vector<std::function<double(exec::RunContext &)>> tasks;
+    for (int v = 0; v < 3; ++v) {
+        for (unsigned cl = 1; cl <= 4; ++cl) {
+            tasks.push_back([&ctx, n, cl, ver =
+                                              versions[v]](exec::RunContext &) {
+                machine::CedarMachine machine(ctx.config());
+                kernels::Rank64Params params;
+                params.n = n;
+                params.clusters = cl;
+                params.version = ver;
+                return kernels::runRank64(machine, params).mflopsRate();
+            });
+        }
+    }
+    auto rates = exec::parallelMap<double>(ctx.jobs(), std::move(tasks));
+
     for (int v = 0; v < 3; ++v) {
         std::printf("%-12s", kernels::rank64VersionName(versions[v]));
         for (unsigned cl = 1; cl <= 4; ++cl) {
-            machine::CedarMachine machine(ctx.config());
-            kernels::Rank64Params params;
-            params.n = n;
-            params.clusters = cl;
-            params.version = versions[v];
-            auto res = kernels::runRank64(machine, params);
-            measured[v][cl - 1] = res.mflopsRate();
+            measured[v][cl - 1] = rates[std::size_t(v) * 4 + (cl - 1)];
             std::printf(" %10.1f", measured[v][cl - 1]);
             std::fflush(stdout);
         }

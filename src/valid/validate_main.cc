@@ -2,12 +2,14 @@
  * @file
  * cedar_validate — the paper-fidelity golden harness runner.
  *
- * Runs every registered scenario headless, checks each emitted cell
- * against its golden record (drift band around the frozen reproduced
- * value, fidelity band around the paper value), and exits nonzero on
- * any failure. `--update-golden` refreezes the golden files from the
- * current build; `--perturb key=value` injects a machine-model change
- * to prove the suite catches regressions.
+ * A thin CLI over valid::runValidation(): parses options, hands them
+ * to the driver, prints the report. `--jobs N` runs scenarios
+ * concurrently on a RunPool; the report is assembled in submission
+ * order, so its bytes are identical for every N (tests/test_exec.cc
+ * holds this to `--jobs 1` vs `--jobs 8`). `--update-golden`
+ * refreezes the golden files from the current build; `--perturb
+ * key=value` injects a machine-model change to prove the suite
+ * catches regressions.
  */
 
 #include <cstdio>
@@ -18,6 +20,8 @@
 #include <vector>
 
 #include "core/cedar.hh"
+#include "exec/runpool.hh"
+#include "valid/driver.hh"
 #include "valid/golden.hh"
 #include "valid/json.hh"
 #include "valid/scenario.hh"
@@ -37,9 +41,14 @@ usage(const char *argv0, int code)
         "  --filter SUBSTR      run only scenarios whose name contains "
         "SUBSTR (repeatable)\n"
         "  --fast               run only fast (tier-1) scenarios\n"
+        "  --jobs N             run up to N scenarios concurrently "
+        "(default 1; report bytes are identical for any N)\n"
+        "  --point-jobs N       worker budget for each scenario's "
+        "internal sweep (default 1)\n"
         "  --update-golden      refreeze golden files from this run\n"
         "  --json               emit a machine-readable report\n"
-        "  --verbose            keep scenario table printing on stdout\n"
+        "  --verbose            keep scenario table printing on stdout "
+        "(forces --jobs 1)\n"
         "  --golden-dir DIR     override the golden directory\n"
         "  --perturb KEY=VALUE  perturb the machine config "
         "(repeatable); e.g. gm.module_conflict_extra=3\n",
@@ -136,6 +145,20 @@ struct Perturbation
     double value;
 };
 
+unsigned
+parseJobs(const char *arg, const char *flag)
+{
+    char *end = nullptr;
+    long v = std::strtol(arg, &end, 10);
+    if (!end || *end != '\0' || v < 1 || v > 1024) {
+        std::fprintf(stderr, "%s wants a worker count in [1, 1024], "
+                             "got '%s'\n",
+                     flag, arg);
+        std::exit(2);
+    }
+    return unsigned(v);
+}
+
 } // namespace
 
 int
@@ -143,10 +166,8 @@ main(int argc, char **argv)
 {
     setLogQuiet(true);
 
-    bool list = false, update = false, json = false, verbose = false;
-    bool fast_only = false;
-    std::string golden_dir;
-    std::vector<std::string> filters;
+    bool list = false, json = false;
+    ValidationOptions vopts;
     std::vector<Perturbation> perturbations;
 
     for (int i = 1; i < argc; ++i) {
@@ -161,17 +182,22 @@ main(int argc, char **argv)
         if (arg == "--list") {
             list = true;
         } else if (arg == "--update-golden") {
-            update = true;
+            vopts.update = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--verbose") {
-            verbose = true;
+            vopts.verbose = true;
         } else if (arg == "--fast") {
-            fast_only = true;
+            vopts.fast_only = true;
+        } else if (arg == "--jobs" || arg == "-j") {
+            vopts.jobs = parseJobs(next("a worker count"), "--jobs");
+        } else if (arg == "--point-jobs") {
+            vopts.point_jobs =
+                parseJobs(next("a worker count"), "--point-jobs");
         } else if (arg == "--filter") {
-            filters.push_back(next("a name substring"));
+            vopts.filters.push_back(next("a name substring"));
         } else if (arg == "--golden-dir") {
-            golden_dir = next("a directory");
+            vopts.golden_dir = next("a directory");
         } else if (arg == "--perturb") {
             std::string spec = next("KEY=VALUE");
             auto eq = spec.find('=');
@@ -211,40 +237,41 @@ main(int argc, char **argv)
         }
     }
 
-    if (update && !perturbations.empty()) {
+    if (vopts.update && !perturbations.empty()) {
         std::fprintf(stderr,
                      "refusing --update-golden with --perturb: that "
                      "would freeze a perturbed machine as the truth\n");
         return 2;
     }
 
-    if (golden_dir.empty())
-        golden_dir = goldenDir();
-
-    auto selected = [&](const Scenario &s) {
-        if (fast_only && !s.fast)
-            return false;
-        if (filters.empty())
-            return true;
-        for (const auto &f : filters)
-            if (s.name.find(f) != std::string::npos)
-                return true;
-        return false;
-    };
-
     if (list) {
+        auto matches = [&](const Scenario &s) {
+            if (vopts.fast_only && !s.fast)
+                return false;
+            if (vopts.filters.empty())
+                return true;
+            for (const auto &f : vopts.filters)
+                if (s.name.find(f) != std::string::npos)
+                    return true;
+            return false;
+        };
+        unsigned shown = 0;
         for (const auto &s : allScenarios()) {
-            if (!selected(s))
+            if (!matches(s))
                 continue;
+            ++shown;
             std::printf("%-22s %-5s %s\n", s.name.c_str(),
                         s.fast ? "fast" : "slow", s.title.c_str());
+        }
+        if (shown == 0) {
+            std::fprintf(stderr, "no scenario matched the filter\n");
+            return 2;
         }
         return 0;
     }
 
-    ScenarioOptions opts;
     if (!perturbations.empty()) {
-        opts.config_hook = [perturbations](machine::CedarConfig &cfg) {
+        vopts.config_hook = [perturbations](machine::CedarConfig &cfg) {
             for (const auto &p : perturbations)
                 for (const auto &k : knobs())
                     if (p.key == k.key)
@@ -252,96 +279,10 @@ main(int argc, char **argv)
         };
     }
 
-    unsigned ran = 0, failed = 0;
-    Json report = Json::array();
-    for (const auto &s : allScenarios()) {
-        if (!selected(s))
-            continue;
-        ++ran;
+    ValidationReport report = runValidation(vopts);
 
-        Metrics metrics;
-        try {
-            if (verbose) {
-                metrics = runScenario(s, opts);
-            } else {
-                StdoutSilencer quiet;
-                metrics = runScenario(s, opts);
-            }
-        } catch (const std::exception &e) {
-            ++failed;
-            std::fprintf(stderr, "FAIL %s: scenario threw: %s\n",
-                         s.name.c_str(), e.what());
-            continue;
-        }
-
-        std::string path = goldenPath(golden_dir, s.name);
-        if (update) {
-            saveGolden(path, goldenFromRun(s, metrics));
-            std::fprintf(stderr, "wrote %s\n", path.c_str());
-            continue;
-        }
-
-        CheckResult result;
-        try {
-            result = checkAgainstGolden(loadGolden(path), metrics);
-        } catch (const std::exception &e) {
-            ++failed;
-            std::fprintf(stderr, "FAIL %s: %s\n", s.name.c_str(),
-                         e.what());
-            continue;
-        }
-
-        unsigned checked = unsigned(result.cells.size());
-        if (!result.ok()) {
-            ++failed;
-            std::fprintf(stderr, "FAIL %s: %u of %u cells out of "
-                                 "band\n%s",
-                         s.name.c_str(),
-                         result.failures +
-                             unsigned(result.unknown_cells.size()),
-                         checked, describeFailures(result).c_str());
-        } else {
-            std::fprintf(stderr, "ok   %-22s %3u cells\n",
-                         s.name.c_str(), checked);
-        }
-
-        if (json) {
-            Json sj = Json::object();
-            sj.set("scenario", Json::of(s.name));
-            sj.set("ok", Json::of(result.ok()));
-            sj.set("failures", Json::of(double(result.failures)));
-            Json cells = Json::array();
-            for (const auto &c : result.cells) {
-                Json cj = Json::object();
-                cj.set("key", Json::of(c.key));
-                cj.set("measured", Json::of(c.measured));
-                cj.set("golden", Json::of(c.expected));
-                if (c.paper == c.paper)
-                    cj.set("paper", Json::of(c.paper));
-                cj.set("drift", Json::of(c.drift_seen));
-                cj.set("ok", Json::of(c.ok()));
-                cells.push(std::move(cj));
-            }
-            sj.set("cells", std::move(cells));
-            report.push(std::move(sj));
-        }
-    }
-
-    if (json && !update) {
-        Json top = Json::object();
-        top.set("scenarios_run", Json::of(double(ran)));
-        top.set("scenarios_failed", Json::of(double(failed)));
-        top.set("ok", Json::of(failed == 0));
-        top.set("results", std::move(report));
-        std::printf("%s\n", top.dump(2).c_str());
-    }
-
-    if (ran == 0) {
-        std::fprintf(stderr, "no scenario matched the filter\n");
-        return 2;
-    }
-    if (update)
-        return 0;
-    std::fprintf(stderr, "%u scenario(s), %u failed\n", ran, failed);
-    return failed == 0 ? 0 : 1;
+    std::fputs(report.logText().c_str(), stderr);
+    if (json && !vopts.update)
+        std::printf("%s\n", report.jsonReport().dump(2).c_str());
+    return report.exitCode();
 }

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the parallel sweep executor: RunPool scheduling and error
+ * semantics, per-run seed isolation, and the headline property — the
+ * validation report is byte-identical for `--jobs {1,2,8}` across
+ * repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "exec/runpool.hh"
+#include "sim/error.hh"
+#include "sim/random.hh"
+#include "valid/driver.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::exec {
+namespace {
+
+TEST(DeriveSeed, PureUniqueAndMasterDependent)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        std::uint64_t s = deriveSeed(default_master_seed, i);
+        EXPECT_EQ(s, deriveSeed(default_master_seed, i));
+        EXPECT_TRUE(seen.insert(s).second)
+            << "seed collision at index " << i;
+    }
+    EXPECT_NE(deriveSeed(1, 0), deriveSeed(2, 0));
+}
+
+TEST(RunPool, ResultsMergeInSubmissionOrder)
+{
+    const std::size_t n = 64;
+    std::vector<std::function<std::uint64_t(RunContext &)>> tasks;
+    for (std::size_t i = 0; i < n; ++i) {
+        tasks.push_back([i](RunContext &) -> std::uint64_t {
+            // Stagger completion so late submissions often finish
+            // first; the merge must not care.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((n - i) * 50));
+            return i * i + 7;
+        });
+    }
+    auto out = parallelMap<std::uint64_t>(8, std::move(tasks));
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], i * i + 7);
+}
+
+TEST(RunPool, SeedDependsOnlyOnIndexNotOnWorker)
+{
+    // Run the same 48 tasks serially and on 8 workers; every run must
+    // observe exactly deriveSeed(master, index) either way — i.e. the
+    // seed a run gets can not leak from whichever run a worker
+    // executed before it.
+    const std::uint64_t master = 0x1234abcdULL;
+    const std::size_t n = 48;
+    auto make_tasks = [&] {
+        std::vector<std::function<std::uint64_t(RunContext &)>> tasks;
+        for (std::size_t i = 0; i < n; ++i) {
+            tasks.push_back([i](RunContext &ctx) {
+                EXPECT_EQ(ctx.index, i);
+                // Draw from the run's own generator: identical
+                // streams serial vs parallel.
+                Rng rng(ctx.seed);
+                std::uint64_t acc = 0;
+                for (int k = 0; k < 100; ++k)
+                    acc ^= rng.next();
+                return acc;
+            });
+        }
+        return tasks;
+    };
+    auto serial = parallelMap<std::uint64_t>(1, make_tasks(), master);
+    auto parallel = parallelMap<std::uint64_t>(8, make_tasks(), master);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
+        EXPECT_EQ(serial[i],
+                  [&] {
+                      Rng rng(deriveSeed(master, i));
+                      std::uint64_t acc = 0;
+                      for (int k = 0; k < 100; ++k)
+                          acc ^= rng.next();
+                      return acc;
+                  }())
+            << "run " << i;
+    }
+}
+
+TEST(RunPool, BoundedQueueStillCompletesEverything)
+{
+    RunPool pool(2, /*queue_bound=*/2);
+    std::atomic<unsigned> done{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&done](RunContext &) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 32u);
+    EXPECT_EQ(pool.firstError(), nullptr);
+    EXPECT_FALSE(pool.cancelled());
+}
+
+TEST(RunPool, FirstHardErrorCancelsAndRethrows)
+{
+    RunPool pool(4);
+    std::atomic<unsigned> started{0};
+    for (std::size_t i = 0; i < 200; ++i) {
+        pool.submit([i, &started](RunContext &ctx) {
+            started.fetch_add(1, std::memory_order_relaxed);
+            if (i == 10) {
+                throw SimError(SimError::Kind::deadlock, "test", 42,
+                               "injected hard error");
+            }
+            // Give the cancellation a chance to overtake the queue.
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            if (ctx.cancelled())
+                return;
+        });
+    }
+    pool.wait();
+    EXPECT_TRUE(pool.cancelled());
+    EXPECT_EQ(pool.firstErrorIndex(), 10u);
+    EXPECT_THROW(pool.rethrowFirstError(), SimError);
+    // Cancellation skips not-yet-started runs; everything is still
+    // accounted for (wait() returned), and nothing ran twice.
+    EXPECT_LE(started.load() + pool.skippedCount(), 200u);
+}
+
+TEST(RunPool, LowestSubmissionIndexErrorWins)
+{
+    // Every run fails; whatever interleaving happens (cancellation may
+    // skip any subset, and a worker's LIFO pop may start anywhere in
+    // its deque), the reported error must be the lowest-index run that
+    // actually executed.
+    RunPool pool(2);
+    std::mutex mu;
+    std::vector<std::size_t> executed;
+    for (std::size_t i = 0; i < 8; ++i) {
+        pool.submit([i, &mu, &executed](RunContext &) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                executed.push_back(i);
+            }
+            throw SimError(SimError::Kind::assertion, "test", Tick(i),
+                           "run " + std::to_string(i));
+        });
+    }
+    pool.wait();
+    ASSERT_NE(pool.firstError(), nullptr);
+    ASSERT_FALSE(executed.empty());
+    EXPECT_EQ(pool.firstErrorIndex(),
+              *std::min_element(executed.begin(), executed.end()));
+}
+
+TEST(ParallelMap, SerialPathPropagatesImmediately)
+{
+    std::vector<std::function<int(RunContext &)>> tasks;
+    std::vector<int> ran;
+    for (int i = 0; i < 5; ++i) {
+        tasks.push_back([i, &ran](RunContext &) {
+            if (i == 2)
+                throw SimError(SimError::Kind::config, "test", 0,
+                               "bad point");
+            ran.push_back(i);
+            return i;
+        });
+    }
+    EXPECT_THROW(parallelMap<int>(1, std::move(tasks)), SimError);
+    // Inline serial execution stops at the throwing task, like a
+    // plain loop would.
+    EXPECT_EQ(ran, (std::vector<int>{0, 1}));
+}
+
+} // namespace
+} // namespace cedar::exec
+
+namespace cedar::valid {
+namespace {
+
+/** Cheap fast scenarios (all but the multi-second table2_memory). */
+std::vector<std::string>
+cheapScenarios()
+{
+    return {"fig12_topology", "table3_perfect",  "table4_handopt",
+            "table5_stability", "table6_bands",  "fig3_scatter",
+            "vm_study",       "sec33_restructuring", "ablation_runtime"};
+}
+
+ValidationReport
+runCheap(unsigned jobs)
+{
+    ValidationOptions opts;
+    opts.jobs = jobs;
+    opts.filters = cheapScenarios();
+    return runValidation(opts);
+}
+
+TEST(Determinism, ReportBytesIdenticalAcrossJobCounts)
+{
+    // The headline property: cedar_validate --json output is
+    // byte-identical for --jobs {1,2,8}, three repeats each.
+    ValidationReport base = runCheap(1);
+    ASSERT_EQ(base.ran, cheapScenarios().size());
+    EXPECT_EQ(base.failed, 0u) << base.logText();
+    const std::string base_json = base.jsonReport().dump(2);
+    const std::string base_log = base.logText();
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        for (int rep = 0; rep < 3; ++rep) {
+            ValidationReport r = runCheap(jobs);
+            EXPECT_EQ(r.jsonReport().dump(2), base_json)
+                << "jobs=" << jobs << " rep=" << rep;
+            EXPECT_EQ(r.logText(), base_log)
+                << "jobs=" << jobs << " rep=" << rep;
+            EXPECT_EQ(r.exitCode(), 0);
+        }
+    }
+}
+
+TEST(Determinism, PointSweepMetricsIdenticalAcrossJobCounts)
+{
+    // The same scenario's *internal* sweep (sweep_runner --jobs) must
+    // produce bitwise-identical metrics for any worker count. Run the
+    // heaviest sweep at a reduced size to keep this in tier-1.
+    const Scenario *s = findScenario("table1_rank64");
+    ASSERT_NE(s, nullptr);
+    auto run = [&](unsigned jobs) {
+        ScenarioOptions opts;
+        opts.size = 128;
+        opts.jobs = jobs;
+        StdoutSilencer quiet;
+        return runScenario(*s, opts);
+    };
+    Metrics serial = run(1);
+    ASSERT_FALSE(serial.values.empty());
+    for (unsigned jobs : {2u, 8u}) {
+        Metrics m = run(jobs);
+        ASSERT_EQ(m.values.size(), serial.values.size());
+        for (std::size_t i = 0; i < m.values.size(); ++i) {
+            EXPECT_EQ(m.values[i].key, serial.values[i].key);
+            // Bitwise equality, not tolerance: the parallel sweep is
+            // the same computation, merely reordered in host time.
+            EXPECT_EQ(m.values[i].value, serial.values[i].value)
+                << m.values[i].key << " at jobs=" << jobs;
+        }
+    }
+}
+
+TEST(Driver, ZeroMatchingScenariosIsAnError)
+{
+    ValidationOptions opts;
+    opts.filters = {"no_such_scenario_xyz"};
+    ValidationReport r = runValidation(opts);
+    EXPECT_EQ(r.ran, 0u);
+    EXPECT_EQ(r.exitCode(), 2);
+    EXPECT_NE(r.logText().find("no scenario matched the filter"),
+              std::string::npos);
+    const Json j = r.jsonReport();
+    ASSERT_NE(j.get("ok"), nullptr);
+    EXPECT_FALSE(j.get("ok")->asBool());
+}
+
+TEST(Driver, ThrowingScenarioReportsDeterministically)
+{
+    // A config hook that rejects every machine makes both scenarios
+    // throw (both build a CedarMachine via ctx.config()); the FAIL
+    // lines and exit code must come out in submission order for any
+    // job count.
+    auto run = [](unsigned jobs) {
+        ValidationOptions opts;
+        opts.jobs = jobs;
+        opts.filters = {"fig12_topology", "ablation_runtime"};
+        opts.config_hook = [](machine::CedarConfig &) {
+            throw SimError(SimError::Kind::config, "test", 0,
+                           "rejected by hook");
+        };
+        return runValidation(opts);
+    };
+    ValidationReport serial = run(1);
+    EXPECT_EQ(serial.ran, 2u);
+    EXPECT_EQ(serial.failed, 2u);
+    EXPECT_EQ(serial.exitCode(), 1);
+    EXPECT_NE(serial.logText().find("scenario threw"),
+              std::string::npos);
+    ValidationReport parallel = run(2);
+    EXPECT_EQ(parallel.logText(), serial.logText());
+    EXPECT_EQ(parallel.jsonReport().dump(2),
+              serial.jsonReport().dump(2));
+}
+
+} // namespace
+} // namespace cedar::valid
