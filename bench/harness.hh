@@ -7,13 +7,17 @@
  * command line:
  *
  *   bench_name [size] [--json] [--no-check]
+ *              [--telemetry FILE] [--telemetry-interval N]
  *
  * A positional size overrides the scenario's canonical problem size
  * (golden checking is skipped for non-canonical runs). After the run
  * the emitted cells are checked against tests/golden/<name>.json and
  * the process exits nonzero on any out-of-band cell, so a CI smoke
  * invocation actually fails when a published number drifts.
- * `--no-check` restores the old report-only behavior.
+ * `--no-check` restores the old report-only behavior. `--telemetry`
+ * streams every machine's interval telemetry (JSONL, see
+ * src/sim/telemetry.hh) to FILE; sampling runs the scenario's internal
+ * sweep serially, so the file is deterministic.
  */
 
 #ifndef CEDARSIM_BENCH_HARNESS_HH
@@ -40,14 +44,31 @@ scenarioMain(const char *name, int argc, char **argv)
 
     valid::ScenarioOptions opts;
     bool check = true;
+    std::string telemetry_path;
+    Tick telemetry_interval = 100'000;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--no-check") == 0) {
             check = false;
+        } else if (std::strcmp(argv[i], "--telemetry") == 0 &&
+                   i + 1 < argc) {
+            telemetry_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 &&
+                   i + 1 < argc) {
+            long long n = std::strtoll(argv[++i], nullptr, 10);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "%s: --telemetry-interval wants >= 1\n",
+                             name);
+                return 2;
+            }
+            telemetry_interval = Tick(n);
         } else if (std::isdigit(
                        static_cast<unsigned char>(argv[i][0]))) {
             opts.size = unsigned(std::strtoul(argv[i], nullptr, 10));
         }
     }
+    if (!telemetry_path.empty())
+        opts.telemetry_interval = telemetry_interval;
 
     const valid::Scenario *scenario = valid::findScenario(name);
     if (!scenario) {
@@ -67,6 +88,19 @@ scenarioMain(const char *name, int argc, char **argv)
         out.metric(m.key, m.value);
     for (const auto &[key, value] : metrics.notes)
         out.metric(key, value);
+
+    if (!telemetry_path.empty()) {
+        std::FILE *f = std::fopen(telemetry_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "%s: cannot write telemetry to %s\n",
+                         name, telemetry_path.c_str());
+            return 2;
+        }
+        std::fwrite(metrics.telemetry.data(), 1,
+                    metrics.telemetry.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "telemetry: %s\n", telemetry_path.c_str());
+    }
 
     int rc = 0;
     if (check && opts.size == 0) {

@@ -6,15 +6,22 @@
  * contention appear in the memory system as clusters join. The final
  * run also dumps the full stat registry as hierarchical JSON, writes
  * a Chrome trace of the monitored events, and lists the debug flags.
+ * `--telemetry` additionally streams interval telemetry (one JSONL
+ * record per `--interval` ticks, plus a final record) from every run
+ * to the given file — the raw material for utilization curves.
  *
  *   $ ./examples/machine_inspector [--stats-json] [--chrome-trace FILE]
+ *                                  [--telemetry FILE [--interval N]]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "core/cedar.hh"
 #include "core/machine_report.hh"
+#include "sim/telemetry.hh"
 
 using namespace cedar;
 
@@ -24,17 +31,50 @@ main(int argc, char **argv)
     setLogQuiet(true);
     bool stats_json = false;
     const char *trace_path = nullptr;
+    const char *telemetry_path = nullptr;
+    Tick interval = 50'000;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats-json") == 0)
             stats_json = true;
         else if (std::strcmp(argv[i], "--chrome-trace") == 0 &&
                  i + 1 < argc)
             trace_path = argv[++i];
+        else if (std::strcmp(argv[i], "--telemetry") == 0 &&
+                 i + 1 < argc)
+            telemetry_path = argv[++i];
+        else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+            long long n = std::atoll(argv[++i]);
+            if (n < 1) {
+                std::fprintf(stderr, "--interval wants >= 1 tick\n");
+                return 2;
+            }
+            interval = Tick(n);
+        }
     }
+
+    std::unique_ptr<FileTelemetrySink> telemetry;
+    if (telemetry_path)
+        telemetry = std::make_unique<FileTelemetrySink>(telemetry_path);
 
     for (unsigned clusters : {1u, 4u}) {
         machine::CedarMachine machine;
         machine.enableMonitoring();
+        if (telemetry) {
+            telemetry->write("{\"v\":1,\"kind\":\"point\",\"label\":"
+                             "\"rank64 clusters=" +
+                             std::to_string(clusters) + "\"}");
+            TelemetryParams params;
+            params.interval = interval;
+            machine.enableTelemetry(params, *telemetry);
+        }
+        // Open the trace stream before the run: if the kernel dies in
+        // a SimError, the stream's destructor still closes the JSON
+        // array, so whatever was captured stays loadable.
+        std::unique_ptr<machine::ChromeTraceStream> trace_stream;
+        if (clusters == 4 && trace_path)
+            trace_stream =
+                std::make_unique<machine::ChromeTraceStream>(trace_path);
+
         kernels::Rank64Params params;
         params.n = 256;
         params.clusters = clusters;
@@ -68,8 +108,9 @@ main(int argc, char **argv)
                         tracer.events().size(),
                         static_cast<unsigned long long>(
                             tracer.droppedCount()));
-            if (trace_path) {
-                if (machine::writeChromeTrace(tracer, trace_path)) {
+            if (trace_stream) {
+                trace_stream->drain(tracer);
+                if (trace_stream->close()) {
                     std::printf("Chrome trace written to %s (open in "
                                 "chrome://tracing or ui.perfetto.dev)\n",
                                 trace_path);
@@ -85,6 +126,13 @@ main(int argc, char **argv)
     for (const auto &f : trace::flagNames())
         std::printf(" %s", f.c_str());
     std::printf("\n");
+
+    if (telemetry_path) {
+        std::printf("\ninterval telemetry written to %s "
+                    "(one JSONL record per %llu ticks)\n",
+                    telemetry_path,
+                    static_cast<unsigned long long>(interval));
+    }
 
     std::printf("\nreading: at one cluster the modules barely wait; at "
                 "four the conflict counters\nand queueing means show "

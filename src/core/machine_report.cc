@@ -5,6 +5,7 @@
 
 #include "machine_report.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/report.hh"
@@ -66,6 +67,9 @@ snapshot(machine::CedarMachine &machine)
         reg.sumCounters("cedar.cluster*.ce*.pfu.requests");
     snap.pfu_latency_mean =
         reg.weightedMean("cedar.cluster*.ce*.pfu.latency");
+
+    if (const HostProfiler *prof = machine.sim().profiler())
+        snap.host_profile = prof->table();
     return snap;
 }
 
@@ -118,6 +122,24 @@ renderReport(const MachineSnapshot &snap)
     os << "  " << snap.sim_events << " events in "
        << fmt(snap.host_seconds, 3) << " host seconds ("
        << fmt(snap.host_event_rate / 1e6, 2) << " M events/s)\n";
+
+    if (!snap.host_profile.empty()) {
+        double total = 0.0;
+        for (const auto &k : snap.host_profile)
+            total += k.seconds;
+        os << "\nhost profile (top event kinds by exclusive host time):\n";
+        std::size_t top = std::min<std::size_t>(snap.host_profile.size(), 10);
+        for (std::size_t i = 0; i < top; ++i) {
+            const auto &k = snap.host_profile[i];
+            os << "  " << fmt(total > 0.0 ? 100.0 * k.seconds / total : 0.0, 1)
+               << "%  " << fmt(k.seconds * 1e3, 2) << " ms  "
+               << k.dispatches << " dispatches  " << k.kind << "\n";
+        }
+        if (snap.host_profile.size() > top) {
+            os << "  ... " << (snap.host_profile.size() - top)
+               << " more kinds\n";
+        }
+    }
     return os.str();
 }
 

@@ -11,8 +11,10 @@
 #define CEDARSIM_CORE_MACHINE_REPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "machine/cedar.hh"
+#include "sim/hostprof.hh"
 
 namespace cedar::core {
 
@@ -55,6 +57,10 @@ struct MachineSnapshot
     std::uint64_t total_ops = 0;
     std::uint64_t pfu_requests = 0;
     double pfu_latency_mean = 0.0;
+
+    /** Per-event-kind host time from this machine's engine; empty
+     *  unless profiling was armed (see Simulation::setProfiling). */
+    std::vector<HostProfiler::KindStats> host_profile;
 
     double
     mflops() const

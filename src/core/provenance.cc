@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Provenance collection. Build identity arrives via compile
+ * definitions (see src/core/CMakeLists.txt); runtime identity is read
+ * once at first use.
+ */
+
+#include "provenance.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace cedar::core {
+
+#ifndef CEDAR_GIT_SHA
+#define CEDAR_GIT_SHA "unknown"
+#endif
+#ifndef CEDAR_BUILD_TYPE
+#define CEDAR_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+Provenance
+collect()
+{
+    Provenance p;
+    auto now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llx-%x",
+                  static_cast<unsigned long long>(now_ms),
+                  static_cast<unsigned>(::getpid()));
+    p.run_id = buf;
+    p.git_sha = CEDAR_GIT_SHA;
+    p.build_type = CEDAR_BUILD_TYPE;
+#ifdef __VERSION__
+    p.compiler = __VERSION__;
+#else
+    p.compiler = "unknown";
+#endif
+    char host[256] = "unknown";
+    if (::gethostname(host, sizeof(host) - 1) != 0)
+        std::snprintf(host, sizeof(host), "unknown");
+    p.host = host;
+    return p;
+}
+
+} // namespace
+
+const Provenance &
+provenance()
+{
+    static const Provenance p = collect();
+    return p;
+}
+
+} // namespace cedar::core

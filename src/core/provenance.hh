@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Run provenance: who built this binary, where is it running, and
+ * which invocation produced a given line of output.
+ *
+ * Every bench and validation `--json` line carries these keys so a
+ * result file scraped months later still identifies the commit, build
+ * type, compiler, and host that produced it — the minimum needed to
+ * decide whether two measurements are comparable. The run id is
+ * minted once per process, so all lines from one invocation share it
+ * (and within-process determinism comparisons stay byte-identical).
+ */
+
+#ifndef CEDARSIM_CORE_PROVENANCE_HH
+#define CEDARSIM_CORE_PROVENANCE_HH
+
+#include <string>
+
+namespace cedar::core {
+
+/** Identity of this build and invocation. */
+struct Provenance
+{
+    /** Unique per process: hex of start-time and pid. */
+    std::string run_id;
+    /** Short git commit the build was configured from ("unknown"
+     *  outside a checkout). */
+    std::string git_sha;
+    /** CMake build type (Release, Debug, ...). */
+    std::string build_type;
+    /** Compiler version string. */
+    std::string compiler;
+    /** Hostname at startup. */
+    std::string host;
+};
+
+/** The process-wide provenance record (computed on first use). */
+const Provenance &provenance();
+
+} // namespace cedar::core
+
+#endif // CEDARSIM_CORE_PROVENANCE_HH

@@ -5,6 +5,7 @@
 
 #include "report.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -12,7 +13,9 @@
 
 #include <unistd.h>
 
+#include "core/provenance.hh"
 #include "sim/engine.hh"
+#include "sim/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace cedar::core {
@@ -208,6 +211,31 @@ BenchOutput::emit()
                                 Simulation::globalEventsExecuted()) /
                                 host
                           : 0.0);
+        // Who/what/where produced this line (process-constant).
+        const Provenance &p = provenance();
+        metric("run_id", p.run_id);
+        metric("git_sha", p.git_sha);
+        metric("build_type", p.build_type);
+        metric("compiler", p.compiler);
+        metric("host", p.host);
+        // Per-event-kind host-time attribution, when any engine ran
+        // with profiling armed (CEDAR_HOST_PROFILE=1 or programmatic).
+        auto prof = HostProfiler::globalTable();
+        if (!prof.empty()) {
+            std::string arr = "[";
+            std::size_t top = std::min<std::size_t>(prof.size(), 10);
+            for (std::size_t i = 0; i < top; ++i) {
+                if (i)
+                    arr += ',';
+                arr += "{\"kind\":\"" + jsonEscape(prof[i].kind) +
+                       "\",\"dispatches\":" +
+                       std::to_string(prof[i].dispatches) +
+                       ",\"seconds\":" + jsonNumber(prof[i].seconds) +
+                       '}';
+            }
+            arr += ']';
+            add("host_profile", arr);
+        }
     }
     std::string line = jsonLine();
     line += '\n';

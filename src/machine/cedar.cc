@@ -71,11 +71,23 @@ CedarMachine::diagnosticBundle() const
            << " sync=" << _faults->syncTimeouts()
            << " ce=" << _faults->ceDropouts() << "\n";
     }
+    if (_telemetry)
+        os << _telemetry->statusLine() << "\n";
     auto waits = _watchdog.waitDescriptions();
     os << "in-flight waits: " << waits.size();
     for (const auto &w : waits)
         os << "\n  - " << w;
     return os.str();
+}
+
+TelemetrySampler &
+CedarMachine::enableTelemetry(const TelemetryParams &params,
+                              TelemetrySink &sink)
+{
+    _telemetry = std::make_unique<TelemetrySampler>(name(), _sim, _stats,
+                                                    params, sink);
+    _telemetry->start();
+    return *_telemetry;
 }
 
 void

@@ -13,6 +13,7 @@
 #include "machine/config.hh"
 #include "machine/perfmon.hh"
 #include "sim/engine.hh"
+#include "sim/telemetry.hh"
 #include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/probes.hh"
@@ -162,6 +163,21 @@ class CedarMachine : public Named
             _monitor.record(when, signal, value);
     }
 
+    /**
+     * Arm interval telemetry: every params.interval ticks the sampler
+     * snapshots the machine registry and streams a JSONL record into
+     * @p sink (which must outlive this machine). The sampler starts
+     * immediately and closes itself out when the run drains; its
+     * status line joins the watchdog's diagnostic bundle. Replaces any
+     * previously armed sampler.
+     * @return the armed sampler (machine-owned)
+     */
+    TelemetrySampler &enableTelemetry(const TelemetryParams &params,
+                                      TelemetrySink &sink);
+
+    /** The armed telemetry sampler, or nullptr. */
+    TelemetrySampler *telemetry() { return _telemetry.get(); }
+
   private:
     void registerStats();
 
@@ -177,6 +193,9 @@ class CedarMachine : public Named
     bool _monitoring = false;
     Addr _next_global = 0;
     Addr _next_cluster_addr = 0;
+    /** Declared last: the sampler's destructor emits a final record,
+     *  so it must die before the registry and engine it reads. */
+    std::unique_ptr<TelemetrySampler> _telemetry;
 };
 
 } // namespace cedar::machine

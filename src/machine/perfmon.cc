@@ -157,4 +157,87 @@ writeChromeTrace(const EventTracer &tracer, const std::string &path)
     return static_cast<bool>(out);
 }
 
+ChromeTraceStream::ChromeTraceStream(const std::string &path)
+{
+    _file = std::fopen(path.c_str(), "w");
+    if (!_file)
+        return;
+    _ok = true;
+    std::fputs("[", _file);
+    for (std::uint32_t s = 0; s < num_signals; ++s)
+        tidOf(signalCategory(static_cast<Signal>(s)));
+    for (std::size_t i = 0; i < _categories.size(); ++i) {
+        std::fprintf(_file,
+                     "%s\n{\"name\": \"thread_name\", \"ph\": \"M\", "
+                     "\"pid\": 0, \"tid\": %zu, "
+                     "\"args\": {\"name\": \"%s\"}}",
+                     _first ? "" : ",", i, _categories[i]);
+        _first = false;
+    }
+}
+
+ChromeTraceStream::~ChromeTraceStream()
+{
+    close();
+}
+
+int
+ChromeTraceStream::tidOf(const char *category)
+{
+    for (std::size_t i = 0; i < _categories.size(); ++i) {
+        if (std::string(_categories[i]) == category)
+            return static_cast<int>(i);
+    }
+    _categories.push_back(category);
+    return static_cast<int>(_categories.size() - 1);
+}
+
+void
+ChromeTraceStream::post(Tick when, std::uint32_t signal,
+                        std::int64_t value)
+{
+    if (!_ok || _closed || signal >= num_signals)
+        return;
+    auto sig = static_cast<Signal>(signal);
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%.4f", ticksToMicros(when));
+    if (std::fprintf(_file,
+                     "%s\n{\"name\": \"%s\", \"cat\": \"%s\", "
+                     "\"ph\": \"i\", \"s\": \"t\", \"ts\": %s, "
+                     "\"pid\": 0, \"tid\": %d, "
+                     "\"args\": {\"value\": %lld}}",
+                     _first ? "" : ",", signalName(sig),
+                     signalCategory(sig), ts, tidOf(signalCategory(sig)),
+                     static_cast<long long>(value)) < 0) {
+        _ok = false;
+    }
+    _first = false;
+    ++_events_written;
+}
+
+std::size_t
+ChromeTraceStream::drain(const EventTracer &tracer, std::size_t from_index)
+{
+    const auto &events = tracer.events();
+    for (std::size_t i = from_index; i < events.size(); ++i)
+        post(events[i].when, events[i].signal, events[i].value);
+    return events.size();
+}
+
+bool
+ChromeTraceStream::close()
+{
+    if (_closed)
+        return _ok;
+    _closed = true;
+    if (!_file)
+        return false;
+    if (std::fputs("\n]\n", _file) < 0)
+        _ok = false;
+    if (std::fclose(_file) != 0)
+        _ok = false;
+    _file = nullptr;
+    return _ok;
+}
+
 } // namespace cedar::machine

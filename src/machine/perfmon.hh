@@ -14,6 +14,7 @@
 #define CEDARSIM_MACHINE_PERFMON_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -193,6 +194,57 @@ std::string chromeTraceJson(const EventTracer &tracer);
 
 /** Write chromeTraceJson() to @p path. @return false on I/O error. */
 bool writeChromeTrace(const EventTracer &tracer, const std::string &path);
+
+/**
+ * Streaming Chrome-trace writer with crash-safe finalization.
+ *
+ * writeChromeTrace() renders the whole array after a run completes —
+ * which means a run that dies in a SimError leaves no trace at all,
+ * exactly when the trace is most wanted. ChromeTraceStream opens the
+ * JSON array (and emits the thread-name metadata) up front, appends
+ * events as they are handed over, and closes the array in close() or,
+ * failing that, in its destructor — so the file on disk is valid JSON
+ * on every exit path, error unwinds included.
+ */
+class ChromeTraceStream
+{
+  public:
+    /** Open @p path and write the array opening plus thread metadata. */
+    explicit ChromeTraceStream(const std::string &path);
+
+    /** Closes the array if close() was never called. */
+    ~ChromeTraceStream();
+
+    ChromeTraceStream(const ChromeTraceStream &) = delete;
+    ChromeTraceStream &operator=(const ChromeTraceStream &) = delete;
+
+    /** Append one instant event (unknown signal ids are skipped). */
+    void post(Tick when, std::uint32_t signal, std::int64_t value = 0);
+
+    /**
+     * Append every tracer event at or after @p from_index; returns the
+     * index to pass next time, so periodic draining never duplicates.
+     */
+    std::size_t drain(const EventTracer &tracer, std::size_t from_index = 0);
+
+    /** Close the JSON array and the file. Idempotent. @return ok() */
+    bool close();
+
+    /** False once any I/O failed (open included). */
+    bool ok() const { return _ok; }
+
+    std::uint64_t eventsWritten() const { return _events_written; }
+
+  private:
+    int tidOf(const char *category);
+
+    std::FILE *_file = nullptr;
+    bool _ok = false;
+    bool _closed = false;
+    bool _first = true;
+    std::uint64_t _events_written = 0;
+    std::vector<const char *> _categories;
+};
 
 } // namespace cedar::machine
 

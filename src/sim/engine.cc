@@ -44,6 +44,8 @@ Simulation::~Simulation()
     // consistent heap.
     while (!_heap.empty())
         popTop();
+    if (_profiler)
+        _profiler->flushGlobal();
 }
 
 void
@@ -204,7 +206,20 @@ Simulation::runUntil(Tick limit)
                   " exceeded at tick ", _now,
                   "; runaway simulation suspected");
         }
+#ifndef CEDAR_NO_HOST_PROFILE
+        if (_profiler) {
+            // CallbackEvent recycles itself inside process(), so the
+            // kind string must be latched before dispatch.
+            const char *kind = ev->description();
+            std::uint64_t t0 = hostprofNow();
+            ev->process();
+            _profiler->note(kind, hostprofNow() - t0);
+        } else {
+            ev->process();
+        }
+#else
         ev->process();
+#endif
         if (_watchdog)
             _watchdog->onEvent(_now);
     }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "event.hh"
+#include "hostprof.hh"
 #include "logging.hh"
 #include "types.hh"
 #include "watchdog.hh"
@@ -37,7 +38,11 @@ using EventFunc = std::function<void()>;
 class Simulation
 {
   public:
-    Simulation() = default;
+    Simulation()
+    {
+        if (HostProfiler::envEnabled())
+            setProfiling(true);
+    }
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
     ~Simulation();
@@ -126,6 +131,9 @@ class Simulation
     /** True once the event queue is empty. */
     bool empty() const { return _heap.empty(); }
 
+    /** Number of events currently queued. */
+    std::size_t queueDepth() const { return _heap.size(); }
+
     /** Number of events executed so far (for performance reporting). */
     std::uint64_t eventsExecuted() const { return _events_executed; }
 
@@ -181,6 +189,25 @@ class Simulation
             _watchdog->noteProgress(_now);
     }
 
+    /**
+     * Arm (or disarm) per-event-kind host-time attribution on this
+     * engine. Disarmed — the default — the dispatch loop pays one
+     * null-pointer test; armed, each dispatch is bracketed by two
+     * timestamp reads charged to the event's description string.
+     * Never affects simulated behaviour (see sim/hostprof.hh).
+     */
+    void
+    setProfiling(bool on)
+    {
+        if (on && !_profiler)
+            _profiler = std::make_unique<HostProfiler>();
+        else if (!on)
+            _profiler.reset();
+    }
+
+    /** The attached host-time profiler, or nullptr when disarmed. */
+    HostProfiler *profiler() const { return _profiler.get(); }
+
   private:
     friend class Event;
     friend class CallbackEvent;
@@ -213,6 +240,8 @@ class Simulation
     std::uint64_t _event_limit = 0;
     bool _stop_requested = false;
     Watchdog *_watchdog = nullptr;
+    /** Per-kind host-time attribution; allocated only when armed. */
+    std::unique_ptr<HostProfiler> _profiler;
 
     /** CallbackEvent pool: owned storage plus an intrusive free list. */
     std::vector<std::unique_ptr<CallbackEvent>> _pool;

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Host-time profiler: timestamp source calibration and the process-
+ * wide attribution table.
+ */
+
+#include "hostprof.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define CEDAR_HOSTPROF_TSC 1
+#endif
+
+namespace cedar {
+
+namespace {
+
+#ifdef CEDAR_HOSTPROF_TSC
+/**
+ * Seconds per TSC tick, calibrated once against steady_clock over a
+ * short busy window. The calibration is host-side reporting only, so
+ * ~1% accuracy is plenty.
+ */
+double
+tscSecondsPerTick()
+{
+    static const double spt = [] {
+        auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t c0 = __rdtsc();
+        // Busy-wait ~2 ms; long enough to swamp the clock-read cost.
+        while (std::chrono::steady_clock::now() - t0 <
+               std::chrono::milliseconds(2)) {
+        }
+        std::uint64_t c1 = __rdtsc();
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return c1 > c0 ? secs / static_cast<double>(c1 - c0) : 1e-9;
+    }();
+    return spt;
+}
+#endif
+
+std::mutex g_mutex;
+/** kind string -> (dispatches, units), merged across engines. */
+std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> g_table;
+
+} // namespace
+
+std::uint64_t
+hostprofNow()
+{
+#ifdef CEDAR_HOSTPROF_TSC
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+}
+
+double
+hostprofToSeconds(std::uint64_t delta)
+{
+#ifdef CEDAR_HOSTPROF_TSC
+    return static_cast<double>(delta) * tscSecondsPerTick();
+#else
+    return static_cast<double>(delta) * 1e-9;
+#endif
+}
+
+void
+HostProfiler::noteSlow(const char *kind, std::uint64_t delta)
+{
+    for (Row &row : _rows) {
+        if (row.kind == kind) {
+            ++row.dispatches;
+            row.units += delta;
+            _last = &row;
+            return;
+        }
+    }
+    _rows.push_back(Row{kind, 1, delta});
+    _last = &_rows.back();
+}
+
+std::vector<HostProfiler::KindStats>
+HostProfiler::table() const
+{
+    std::vector<KindStats> out;
+    out.reserve(_rows.size());
+    for (const Row &row : _rows) {
+        out.push_back(KindStats{row.kind, row.dispatches,
+                                hostprofToSeconds(row.units)});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const KindStats &a, const KindStats &b) {
+                  if (a.seconds != b.seconds)
+                      return a.seconds > b.seconds;
+                  return a.kind < b.kind;
+              });
+    return out;
+}
+
+void
+HostProfiler::flushGlobal()
+{
+    if (_rows.empty())
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (const Row &row : _rows) {
+        auto &slot = g_table[row.kind];
+        slot.first += row.dispatches;
+        slot.second += row.units;
+    }
+    _rows.clear();
+    _last = nullptr;
+}
+
+std::vector<HostProfiler::KindStats>
+HostProfiler::globalTable()
+{
+    std::vector<KindStats> out;
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        out.reserve(g_table.size());
+        for (const auto &[kind, agg] : g_table) {
+            out.push_back(KindStats{kind, agg.first,
+                                    hostprofToSeconds(agg.second)});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const KindStats &a, const KindStats &b) {
+                  if (a.seconds != b.seconds)
+                      return a.seconds > b.seconds;
+                  return a.kind < b.kind;
+              });
+    return out;
+}
+
+void
+HostProfiler::resetGlobal()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_table.clear();
+}
+
+bool
+HostProfiler::envEnabled()
+{
+    const char *env = std::getenv("CEDAR_HOST_PROFILE");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+} // namespace cedar

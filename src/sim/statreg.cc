@@ -243,6 +243,12 @@ StatRegistry::weightedMean(const std::string &pattern) const
 std::map<std::string, double>
 StatRegistry::snapshot() const
 {
+    return snapshot("*");
+}
+
+std::map<std::string, double>
+StatRegistry::snapshot(const std::string &pattern) const
+{
     std::map<std::string, double> out;
     auto expand = [&out](const std::string &name, const SampleStat &s) {
         out[name + ".count"] = static_cast<double>(s.count());
@@ -253,6 +259,8 @@ StatRegistry::snapshot() const
         out[name + ".stddev"] = s.stddev();
     };
     for (const auto &[name, entry] : _entries) {
+        if (!globMatch(pattern, name))
+            continue;
         switch (entry.kind) {
           case Kind::counter:
             out[name] = static_cast<double>(entry.counter->value());

@@ -105,6 +105,12 @@ class StatRegistry
      */
     std::map<std::string, double> snapshot() const;
 
+    /**
+     * Snapshot restricted to entries whose registered name matches the
+     * glob @p pattern (leaves expand from matching entries as above).
+     */
+    std::map<std::string, double> snapshot(const std::string &pattern) const;
+
     /** Reset every registered counter, sample, and histogram. */
     void resetAll();
 

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Interval telemetry sampler and sinks.
+ */
+
+#include "telemetry.hh"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cedar {
+
+namespace {
+
+/** Render a finite double compactly; integers print without a point. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** Escape a string for a JSON key or value. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Host-clock registry entries (cedar.sim.host_seconds and friends) are
+ * the only nondeterministic statistics; records must never carry them.
+ */
+bool
+isHostClockStat(const std::string &name)
+{
+    return name.find(".host_") != std::string::npos;
+}
+
+/**
+ * Distribution summary leaves are not additive, so per-interval deltas
+ * and rates are only emitted for counting leaves.
+ */
+bool
+isAdditiveLeaf(const std::string &name)
+{
+    auto ends_with = [&name](const char *suffix) {
+        std::string suf(suffix);
+        return name.size() >= suf.size() &&
+               name.compare(name.size() - suf.size(), suf.size(), suf) == 0;
+    };
+    return !ends_with(".mean") && !ends_with(".min") &&
+           !ends_with(".max") && !ends_with(".stddev");
+}
+
+std::uint64_t
+hostNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** "1234567" -> "1.23M" style magnitude for heartbeat lines. */
+std::string
+humanCount(double v)
+{
+    char buf[32];
+    if (v >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2fG", v * 1e-9);
+    else if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v * 1e-6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fk", v * 1e-3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+} // namespace
+
+FileTelemetrySink::FileTelemetrySink(const std::string &path)
+    : _path(path)
+{
+    _file = std::fopen(path.c_str(), "w");
+    if (!_file)
+        throw std::runtime_error("telemetry: cannot open '" + path + "'");
+}
+
+FileTelemetrySink::~FileTelemetrySink()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+void
+FileTelemetrySink::write(const std::string &line)
+{
+    std::fwrite(line.data(), 1, line.size(), _file);
+    std::fputc('\n', _file);
+}
+
+void
+RingTelemetrySink::write(const std::string &line)
+{
+    if (_capacity && _lines.size() >= _capacity) {
+        _lines.erase(_lines.begin());
+        ++_dropped;
+    }
+    _lines.push_back(line);
+}
+
+std::string
+RingTelemetrySink::text() const
+{
+    std::string out;
+    for (const auto &line : _lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+TelemetrySampler::TelemetrySampler(const std::string &name,
+                                   Simulation &sim,
+                                   const StatRegistry &reg,
+                                   const TelemetryParams &params,
+                                   TelemetrySink &sink)
+    : _name(name), _sim(sim), _reg(reg), _params(params), _sink(sink)
+{
+    sim_assert(_params.interval > 0, "telemetry interval must be positive");
+    if (_params.filter.empty())
+        _params.filter.push_back('*');
+}
+
+TelemetrySampler::~TelemetrySampler()
+{
+    // Emit the closing record even when the run was cut short by an
+    // error unwind; ~Event deschedules the pending sample for us.
+    if (_started)
+        finish();
+}
+
+void
+TelemetrySampler::start()
+{
+    if (_started)
+        return;
+    _started = true;
+    // Baseline snapshot so the first interval's deltas cover exactly
+    // [start, start + interval).
+    _prev = _reg.snapshot(_params.filter);
+    _last_tick = _sim.curTick();
+    _last_events = _sim.eventsExecuted();
+    _hb_last_ns = hostNowNs();
+    _hb_last_tick = _last_tick;
+    _sim.schedule(_event, _sim.curTick() + _params.interval);
+}
+
+void
+TelemetrySampler::resume()
+{
+    if (!_started) {
+        start();
+        return;
+    }
+    _finished = false;
+    if (!_event.scheduled())
+        _sim.schedule(_event, _sim.curTick() + _params.interval);
+}
+
+void
+TelemetrySampler::sampleNow(const char *label)
+{
+    emitRecord(label, false);
+}
+
+void
+TelemetrySampler::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    emitRecord("final", true);
+}
+
+void
+TelemetrySampler::fire()
+{
+    // The sampler's own event was the queue top; if nothing else is
+    // pending the run is over — close out instead of rescheduling so
+    // an armed sampler never keeps a drained simulation alive.
+    if (_sim.empty()) {
+        finish();
+        return;
+    }
+    emitRecord("interval", false);
+    _sim.schedule(_event, _sim.curTick() + _params.interval);
+}
+
+void
+TelemetrySampler::emitRecord(const char *kind, bool final_record)
+{
+    std::map<std::string, double> cur = _reg.snapshot(_params.filter);
+    const Tick now = _sim.curTick();
+    const Tick window = now - _last_tick;
+    const std::uint64_t events = _sim.eventsExecuted();
+    const double window_s = ticksToSeconds(window);
+
+    std::string line;
+    line.reserve(4096);
+    line += "{\"v\":1,\"component\":\"";
+    line += jsonEscape(_name);
+    line += "\",\"kind\":\"";
+    line += jsonEscape(kind);
+    line += "\",\"seq\":";
+    line += jsonNumber(static_cast<double>(_seq));
+    line += ",\"tick\":";
+    line += jsonNumber(static_cast<double>(now));
+    line += ",\"window\":";
+    line += jsonNumber(static_cast<double>(window));
+    line += ",\"events\":";
+    line += jsonNumber(static_cast<double>(events));
+    line += ",\"window_events\":";
+    line += jsonNumber(static_cast<double>(events - _last_events));
+    line += ",\"queue\":";
+    line += jsonNumber(static_cast<double>(_sim.queueDepth()));
+
+    line += ",\"stats\":{";
+    bool first = true;
+    for (const auto &[name, value] : cur) {
+        if (isHostClockStat(name))
+            continue;
+        if (!first)
+            line += ',';
+        first = false;
+        line += '"';
+        line += jsonEscape(name);
+        line += "\":";
+        line += jsonNumber(value);
+    }
+    line += '}';
+
+    // Deltas (and simulated-time rates) only for additive leaves that
+    // actually moved, so quiet intervals stay small.
+    line += ",\"delta\":{";
+    first = true;
+    std::vector<std::pair<const std::string *, double>> moved;
+    for (const auto &[name, value] : cur) {
+        if (isHostClockStat(name) || !isAdditiveLeaf(name))
+            continue;
+        auto it = _prev.find(name);
+        double d = value - (it == _prev.end() ? 0.0 : it->second);
+        if (d == 0.0)
+            continue;
+        moved.emplace_back(&name, d);
+        if (!first)
+            line += ',';
+        first = false;
+        line += '"';
+        line += jsonEscape(name);
+        line += "\":";
+        line += jsonNumber(d);
+    }
+    line += '}';
+
+    line += ",\"rate\":{";
+    first = true;
+    if (window_s > 0.0) {
+        for (const auto &[name, d] : moved) {
+            if (!first)
+                line += ',';
+            first = false;
+            line += '"';
+            line += jsonEscape(*name);
+            line += "\":";
+            line += jsonNumber(d / window_s);
+        }
+    }
+    line += '}';
+
+    if (final_record)
+        line += ",\"final\":true";
+    line += '}';
+
+    _sink.write(line);
+    ++_records;
+    ++_seq;
+    _prev = std::move(cur);
+    _last_tick = now;
+    _last_events = events;
+    heartbeat();
+}
+
+void
+TelemetrySampler::heartbeat()
+{
+    const std::uint64_t now_ns = hostNowNs();
+    const Tick tick = _sim.curTick();
+    const double dt = (now_ns - _hb_last_ns) * 1e-9;
+    const double ticks_per_s =
+        dt > 0.0 ? static_cast<double>(tick - _hb_last_tick) / dt : 0.0;
+
+    char buf[256];
+    std::string progress;
+    if (_params.expected_ticks > 0) {
+        double frac = static_cast<double>(tick) /
+                      static_cast<double>(_params.expected_ticks);
+        double eta = ticks_per_s > 0.0
+                         ? (static_cast<double>(_params.expected_ticks) -
+                            static_cast<double>(tick)) /
+                               ticks_per_s
+                         : 0.0;
+        std::snprintf(buf, sizeof(buf), " (%.0f%%, ETA %.1fs)",
+                      100.0 * std::min(frac, 1.0),
+                      eta > 0.0 ? eta : 0.0);
+        progress = buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "[telemetry %s] tick %s%s, %s events drained, "
+                  "%s ticks/s, queue %zu, %" PRIu64 " records",
+                  _name.c_str(),
+                  humanCount(static_cast<double>(tick)).c_str(),
+                  progress.c_str(),
+                  humanCount(static_cast<double>(_sim.eventsExecuted()))
+                      .c_str(),
+                  humanCount(ticks_per_s).c_str(), _sim.queueDepth(),
+                  _records);
+    _hb_status = buf;
+
+    // Rate-limit the stderr line to roughly one per host second so a
+    // fine interval cannot flood the terminal.
+    if (_params.heartbeat &&
+        (now_ns - _hb_last_ns >= 1'000'000'000ull || _finished)) {
+        std::fprintf(stderr, "%s\n", _hb_status.c_str());
+        _hb_last_ns = now_ns;
+        _hb_last_tick = tick;
+    }
+}
+
+std::string
+TelemetrySampler::statusLine() const
+{
+    if (!_hb_status.empty())
+        return _hb_status;
+    return "[telemetry " + _name + "] no records yet";
+}
+
+} // namespace cedar

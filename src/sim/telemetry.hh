@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Time-resolved telemetry: interval sampling of the whole StatRegistry
+ * into an ordered stream of JSONL records.
+ *
+ * The end-of-run machine report answers "what happened overall"; this
+ * subsystem answers "when did it happen" — the time-resolved view the
+ * paper's performance study was built from (phase-by-phase CE
+ * utilization, network saturation ramps). A TelemetrySampler owns one
+ * pooled engine event at EventPriority::stats: every `interval`
+ * simulated ticks it snapshots the registry, computes per-interval
+ * deltas and simulated-time rates, and writes one self-contained JSON
+ * line to a pluggable TelemetrySink. When the rest of the event queue
+ * has drained, the sampler emits a final record and stops
+ * rescheduling — an armed sampler extends a finished run by at most
+ * one interval (its own last event advances idle time to the next
+ * boundary, deterministically), never indefinitely.
+ *
+ * Determinism contract: records carry only simulated-time quantities
+ * (host-clock registry entries are filtered out), so the JSONL stream
+ * is bit-identical across reruns and worker counts. Sampling adds
+ * engine events — visible in `cedar.sim.events` — but never perturbs
+ * component behaviour; golden cells are unchanged at any interval
+ * (tests/test_telemetry.cc pins both properties).
+ *
+ * The optional stderr heartbeat is the one deliberately host-clocked
+ * surface: a rate-limited progress line (ticks/sec, events drained,
+ * queue depth, ETA against an expected-ticks hint) that also feeds the
+ * watchdog's diagnostic bundle via statusLine().
+ */
+
+#ifndef CEDARSIM_SIM_TELEMETRY_HH
+#define CEDARSIM_SIM_TELEMETRY_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/statreg.hh"
+#include "sim/types.hh"
+
+namespace cedar {
+
+/** Destination for telemetry records, one JSONL line at a time. */
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    /** Receive one complete JSON line (no trailing newline). */
+    virtual void write(const std::string &line) = 0;
+};
+
+/** Appends records to a file, one per line. */
+class FileTelemetrySink : public TelemetrySink
+{
+  public:
+    /** @throws std::runtime_error when the file cannot be opened */
+    explicit FileTelemetrySink(const std::string &path);
+    ~FileTelemetrySink() override;
+
+    void write(const std::string &line) override;
+
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+    std::FILE *_file = nullptr;
+};
+
+/**
+ * Keeps records in memory — the test sink, and the buffer the
+ * validation driver drains in submission order after parallel runs.
+ * A nonzero capacity turns it into a ring that drops the oldest.
+ */
+class RingTelemetrySink : public TelemetrySink
+{
+  public:
+    explicit RingTelemetrySink(std::size_t capacity = 0)
+        : _capacity(capacity)
+    {
+    }
+
+    void write(const std::string &line) override;
+
+    const std::vector<std::string> &lines() const { return _lines; }
+    std::uint64_t droppedCount() const { return _dropped; }
+
+    /** All retained lines, newline-terminated, ready to write out. */
+    std::string text() const;
+
+    void
+    clear()
+    {
+        _lines.clear();
+        _dropped = 0;
+    }
+
+  private:
+    std::size_t _capacity;
+    std::vector<std::string> _lines;
+    std::uint64_t _dropped = 0;
+};
+
+/** Tuning for one sampler. */
+struct TelemetryParams
+{
+    /** Simulated ticks between interval records (must be > 0). */
+    Tick interval = 100'000;
+    /**
+     * Glob over registered stat names selecting what each record
+     * carries. Host-clock entries (*.host_*) are always excluded so
+     * streams stay bit-identical across hosts and reruns.
+     */
+    std::string filter = "*";
+    /** Emit the rate-limited stderr heartbeat line. */
+    bool heartbeat = false;
+    /** Expected run length in ticks for the heartbeat's ETA; 0 = unknown. */
+    Tick expected_ticks = 0;
+};
+
+/** Interval sampler bound to one engine and one stat registry. */
+class TelemetrySampler
+{
+  public:
+    /**
+     * @param name component name carried in every record
+     * @param sim  engine whose queue paces the sampling
+     * @param reg  registry snapshotted each interval
+     * @param params sampling parameters (interval must be positive)
+     * @param sink destination; must outlive the sampler
+     */
+    TelemetrySampler(const std::string &name, Simulation &sim,
+                     const StatRegistry &reg,
+                     const TelemetryParams &params, TelemetrySink &sink);
+    ~TelemetrySampler();
+
+    TelemetrySampler(const TelemetrySampler &) = delete;
+    TelemetrySampler &operator=(const TelemetrySampler &) = delete;
+
+    /** Schedule the first interval sample (idempotent). */
+    void start();
+
+    /**
+     * Re-arm after a drain: a machine driven through several run()
+     * phases calls this between phases to keep sampling.
+     */
+    void resume();
+
+    /** Emit an on-demand record labelled @p label right now. */
+    void sampleNow(const char *label = "sample");
+
+    /**
+     * Emit the final record (cumulative totals, kind "final") if it
+     * has not been emitted yet. Called automatically when the queue
+     * drains and from the destructor.
+     */
+    void finish();
+
+    /** Records emitted so far. */
+    std::uint64_t records() const { return _records; }
+
+    /** True once finish() has run. */
+    bool finished() const { return _finished; }
+
+    const TelemetryParams &params() const { return _params; }
+
+    /**
+     * One-line progress summary (the heartbeat text, computed even
+     * when the stderr heartbeat is off) for diagnostic bundles.
+     */
+    std::string statusLine() const;
+
+  private:
+    void fire();
+    void emitRecord(const char *kind, bool final_record);
+    void heartbeat();
+
+    std::string _name;
+    Simulation &_sim;
+    const StatRegistry &_reg;
+    TelemetryParams _params;
+    TelemetrySink &_sink;
+
+    MemberEvent<TelemetrySampler, &TelemetrySampler::fire> _event{
+        *this, EventPriority::stats, "telemetry.sample"};
+
+    /** Previous snapshot, for per-interval deltas. */
+    std::map<std::string, double> _prev;
+    std::uint64_t _seq = 0;
+    std::uint64_t _records = 0;
+    Tick _last_tick = 0;
+    std::uint64_t _last_events = 0;
+    bool _started = false;
+    bool _finished = false;
+
+    /** Host-clock heartbeat state (reporting only, never in records). */
+    std::uint64_t _hb_last_ns = 0;
+    Tick _hb_last_tick = 0;
+    std::string _hb_status;
+};
+
+} // namespace cedar
+
+#endif // CEDARSIM_SIM_TELEMETRY_HH

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <optional>
 #include <utility>
 
@@ -164,6 +165,8 @@ runValidation(const ValidationOptions &opts)
             ScenarioOptions sopts;
             sopts.config_hook = opts.config_hook;
             sopts.jobs = point_jobs;
+            if (!opts.telemetry_dir.empty())
+                sopts.telemetry_interval = opts.telemetry_interval;
             try {
                 out.metrics = runScenario(*s, sopts);
             } catch (const std::exception &e) {
@@ -199,6 +202,22 @@ runValidation(const ValidationOptions &opts)
         if (opts.update && !out.threw) {
             const Scenario *s = findScenario(out.name);
             saveGolden(out.golden_path, goldenFromRun(*s, out.metrics));
+        }
+        // Telemetry files are written here in the serial reduce, never
+        // from workers, so their contents and creation order match the
+        // submission order at any jobs count.
+        if (!opts.telemetry_dir.empty() && !out.metrics.telemetry.empty()) {
+            std::filesystem::create_directories(opts.telemetry_dir);
+            std::string path =
+                opts.telemetry_dir + "/" + out.name + ".jsonl";
+            if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+                std::fwrite(out.metrics.telemetry.data(), 1,
+                            out.metrics.telemetry.size(), f);
+                std::fclose(f);
+            } else {
+                std::fprintf(stderr,
+                             "telemetry: cannot write %s\n", path.c_str());
+            }
         }
         if (out.failed())
             ++report.failed;

@@ -50,6 +50,15 @@ struct ValidationOptions
     std::vector<std::string> filters;
     /** Machine-config perturbation applied to every run (re-entrant). */
     std::function<void(machine::CedarConfig &)> config_hook;
+    /**
+     * When nonempty, every scenario streams interval telemetry and the
+     * driver writes <dir>/<scenario>.jsonl from the serial reduce —
+     * files are byte-identical at any jobs count. Each scenario's
+     * internal sweep runs serially while telemetry is on.
+     */
+    std::string telemetry_dir;
+    /** Sampling period for --telemetry-dir runs, in ticks. */
+    Tick telemetry_interval = 100'000;
 };
 
 /** What happened to one scenario, in submission order. */

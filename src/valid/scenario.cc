@@ -11,6 +11,8 @@
 
 #include <unistd.h>
 
+#include "machine/cedar.hh"
+
 namespace cedar::valid {
 
 namespace detail {
@@ -85,12 +87,33 @@ findScenario(const std::string &name)
     return nullptr;
 }
 
+void
+ScenarioContext::observe(machine::CedarMachine &m,
+                         const std::string &point) const
+{
+    if (!telemetryEnabled())
+        return;
+    std::string escaped;
+    for (char c : point) {
+        if (c == '"' || c == '\\')
+            escaped.push_back('\\');
+        escaped.push_back(c);
+    }
+    _telemetry.write("{\"v\":1,\"kind\":\"point\",\"label\":\"" +
+                     escaped + "\"}");
+    TelemetryParams params;
+    params.interval = _opts.telemetry_interval;
+    m.enableTelemetry(params, _telemetry);
+}
+
 Metrics
 runScenario(const Scenario &s, const ScenarioOptions &opts)
 {
     ScenarioContext ctx(opts);
     s.run(ctx);
-    return ctx.metrics();
+    Metrics m = ctx.metrics();
+    m.telemetry = ctx.telemetryText();
+    return m;
 }
 
 StdoutSilencer::StdoutSilencer()

@@ -24,6 +24,12 @@
 #include <vector>
 
 #include "machine/config.hh"
+#include "sim/telemetry.hh"
+#include "sim/types.hh"
+
+namespace cedar::machine {
+class CedarMachine;
+}
 
 namespace cedar::valid {
 
@@ -70,6 +76,13 @@ struct Metrics
     std::vector<MetricValue> values;
     /** String annotations (not checked; carried into bench JSON). */
     std::vector<std::pair<std::string, std::string>> notes;
+    /**
+     * Interval-telemetry JSONL captured during the run (empty unless
+     * ScenarioOptions::telemetry_interval was set). Records appear in
+     * point submission order, so the text is byte-identical at any
+     * scenario-level worker count.
+     */
+    std::string telemetry;
 
     const MetricValue *find(const std::string &key) const;
     double at(const std::string &key) const;
@@ -98,6 +111,13 @@ struct ScenarioOptions
      * literal serial path; results are bit-identical either way.
      */
     unsigned jobs = 1;
+    /**
+     * Interval-telemetry sampling period in ticks; 0 disables. When
+     * set, every machine the scenario hands to ctx.observe() streams
+     * JSONL records into the context, and the internal sweep is forced
+     * serial (jobs() returns 1) so records land in point order.
+     */
+    Tick telemetry_interval = 0;
 };
 
 /**
@@ -125,8 +145,18 @@ class ScenarioContext
     /** True when the run uses canonical parameters (goldens apply). */
     bool canonical() const { return _opts.size == 0; }
 
-    /** Worker budget for the scenario's internal parameter sweep. */
-    unsigned jobs() const { return _opts.jobs ? _opts.jobs : 1; }
+    /** Worker budget for the scenario's internal parameter sweep
+     *  (forced to 1 while telemetry streams, to keep point order). */
+    unsigned
+    jobs() const
+    {
+        if (_opts.telemetry_interval)
+            return 1;
+        return _opts.jobs ? _opts.jobs : 1;
+    }
+
+    /** True when interval telemetry is being captured. */
+    bool telemetryEnabled() const { return _opts.telemetry_interval > 0; }
 
     /** The standard machine configuration with any perturbation. */
     machine::CedarConfig
@@ -168,9 +198,26 @@ class ScenarioContext
 
     const Metrics &metrics() const { return _metrics; }
 
+    /**
+     * Offer a machine for observation. A no-op unless telemetry is
+     * enabled; when it is, a point-marker record naming @p point is
+     * written and the machine streams interval records into this
+     * context until it is destroyed. Call right after constructing
+     * each machine, from the scenario thread only (telemetry forces
+     * the internal sweep serial, so point lambdas qualify).
+     */
+    void observe(machine::CedarMachine &m,
+                 const std::string &point = "") const;
+
+    /** The captured telemetry JSONL (empty when disabled). */
+    std::string telemetryText() const { return _telemetry.text(); }
+
   private:
     const ScenarioOptions &_opts;
     Metrics _metrics;
+    /** Mutable so const helpers can offer machines for observation —
+     *  recording telemetry never alters the scenario's results. */
+    mutable RingTelemetrySink _telemetry;
 };
 
 /** One registered reproduction scenario. */

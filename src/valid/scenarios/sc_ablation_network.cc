@@ -27,6 +27,8 @@ rank64Mflops(const ScenarioContext &ctx, machine::CedarConfig cfg,
 {
     ctx.tune(cfg);
     machine::CedarMachine machine(cfg);
+    ctx.observe(machine, "rank64 n=" + std::to_string(n) +
+                             " pfblock=" + std::to_string(prefetch_block));
     kernels::Rank64Params params;
     params.n = n;
     params.clusters = 4;

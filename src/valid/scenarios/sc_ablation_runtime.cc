@@ -24,6 +24,9 @@ xdoallMicros(const ScenarioContext &ctx, unsigned ces, unsigned n_iters,
              bool cedar_sync)
 {
     machine::CedarMachine machine(ctx.config());
+    ctx.observe(machine, "xdoall ces=" + std::to_string(ces) +
+                             " iters=" + std::to_string(n_iters) +
+                             (cedar_sync ? " sync=cedar" : " sync=lock"));
     runtime::RuntimeParams params;
     params.use_cedar_sync = cedar_sync;
     runtime::LoopRunner runner(machine, params);
@@ -70,6 +73,7 @@ runAblationRuntime(ScenarioContext &ctx)
     double cdoall_us;
     {
         machine::CedarMachine machine(ctx.config());
+        ctx.observe(machine, "cdoall");
         runtime::LoopRunner runner(machine);
         Tick end = runner.cdoall(
             0, 8, [](unsigned, unsigned, std::deque<cluster::Op> &out) {
@@ -115,6 +119,10 @@ runAblationRuntime(ScenarioContext &ctx)
     for (auto sched : {runtime::Schedule::self_scheduled,
                        runtime::Schedule::static_chunked}) {
         machine::CedarMachine machine(ctx.config());
+        ctx.observe(machine,
+                    sched == runtime::Schedule::self_scheduled
+                        ? "xdoall sched=self"
+                        : "xdoall sched=static");
         runtime::LoopRunner runner(machine);
         Tick end = runner.xdoall(
             runner.allCes(), 320,

@@ -20,6 +20,7 @@ void
 runFig12(ScenarioContext &ctx)
 {
     machine::CedarMachine machine(ctx.config());
+    ctx.observe(machine, "topology");
     const auto &cfg = machine.config();
 
     std::printf("Figures 1 & 2: the Cedar organization "

@@ -67,6 +67,8 @@ runPpt4(ScenarioContext &ctx)
     for (const CgPoint pt : grid) {
         tasks.push_back([&ctx, pt](exec::RunContext &) {
             machine::CedarMachine machine(ctx.config());
+            ctx.observe(machine, "cg n=" + std::to_string(pt.n) +
+                                     " p=" + std::to_string(pt.p));
             kernels::CgTimedParams params;
             params.n = pt.n;
             params.m = 128;
@@ -146,6 +148,8 @@ runPpt4(ScenarioContext &ctx)
         for (unsigned n : {16384u, 65536u, 262144u}) {
             banded_tasks.push_back([&ctx, bw, n](exec::RunContext &) {
                 machine::CedarMachine machine(ctx.config());
+                ctx.observe(machine, "banded bw=" + std::to_string(bw) +
+                                         " n=" + std::to_string(n));
                 kernels::BandedParams bparams;
                 bparams.n = n;
                 bparams.bandwidth = bw;

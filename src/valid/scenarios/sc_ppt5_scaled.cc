@@ -61,6 +61,8 @@ runPpt5(ScenarioContext &ctx)
                 version](exec::RunContext &) -> double {
             auto cfg = scaledConfig(ctx, clusters);
             machine::CedarMachine machine(cfg);
+            ctx.observe(machine,
+                        "rank64 clusters=" + std::to_string(clusters));
             kernels::Rank64Params params;
             params.n = 512;
             params.clusters = clusters;
@@ -88,6 +90,8 @@ runPpt5(ScenarioContext &ctx)
             auto cfg = scaledConfig(ctx, clusters);
             unsigned ces = cfg.numCes();
             machine::CedarMachine machine(cfg);
+            ctx.observe(machine,
+                        "cg clusters=" + std::to_string(clusters));
             kernels::CgTimedParams params;
             params.n = 2048 * ces;
             params.m = 128;

@@ -60,6 +60,8 @@ runTable1(ScenarioContext &ctx)
             tasks.push_back([&ctx, n, cl, ver =
                                               versions[v]](exec::RunContext &) {
                 machine::CedarMachine machine(ctx.config());
+                ctx.observe(machine, "rank64 n=" + std::to_string(n) +
+                                         " clusters=" + std::to_string(cl));
                 kernels::Rank64Params params;
                 params.n = n;
                 params.clusters = cl;

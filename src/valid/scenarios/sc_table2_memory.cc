@@ -29,6 +29,8 @@ kernels::KernelResult
 runKernel(ScenarioContext &ctx, const char *name, unsigned ces)
 {
     machine::CedarMachine machine(ctx.config());
+    ctx.observe(machine, std::string(name) + " ces=" +
+                             std::to_string(ces));
     if (std::string(name) == "VL") {
         kernels::VloadParams p;
         p.ces = ces;

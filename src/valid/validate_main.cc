@@ -50,6 +50,11 @@ usage(const char *argv0, int code)
         "  --verbose            keep scenario table printing on stdout "
         "(forces --jobs 1)\n"
         "  --golden-dir DIR     override the golden directory\n"
+        "  --telemetry-dir DIR  stream interval telemetry, one "
+        "DIR/<scenario>.jsonl per scenario (byte-identical at any "
+        "--jobs)\n"
+        "  --telemetry-interval N  sampling period in ticks "
+        "(default 100000)\n"
         "  --perturb KEY=VALUE  perturb the machine config "
         "(repeatable); e.g. gm.module_conflict_extra=3\n",
         argv0);
@@ -198,6 +203,19 @@ main(int argc, char **argv)
             vopts.filters.push_back(next("a name substring"));
         } else if (arg == "--golden-dir") {
             vopts.golden_dir = next("a directory");
+        } else if (arg == "--telemetry-dir") {
+            vopts.telemetry_dir = next("a directory");
+        } else if (arg == "--telemetry-interval") {
+            const char *v = next("a tick count");
+            char *end = nullptr;
+            long long ticks = std::strtoll(v, &end, 10);
+            if (!end || *end != '\0' || ticks < 1) {
+                std::fprintf(stderr, "--telemetry-interval wants a "
+                                     "positive tick count, got '%s'\n",
+                             v);
+                return 2;
+            }
+            vopts.telemetry_interval = Tick(ticks);
         } else if (arg == "--perturb") {
             std::string spec = next("KEY=VALUE");
             auto eq = spec.find('=');

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Perf-trajectory companion: inspect and compare trajectory_runner output.
+
+The C++ gate (bench/trajectory_runner --check) is what CI runs; this
+script is the human-side view over the same files. It understands two
+inputs, both produced by the runner:
+
+  * snapshot files  — the --out / --record JSON shape:
+      {"v": 1, "metrics": {"<probe>": {"kind", "value", "noise"}}, ...}
+  * bench JSONL     — lines from `trajectory_runner --json` (one object
+      with "bench": "trajectory" and flat metric keys)
+
+Subcommands:
+
+  report FILE...         per-probe trend table across snapshots, in the
+                         order given (oldest first); last column is the
+                         change from first to last
+  diff BASE CURRENT      noise-aware comparison of two snapshots using
+                         the gate's own margin rule; exits 1 on any
+                         regression, so it can gate scripts too
+  plot FILE... [-m SUB]  ASCII sparkline per probe across snapshots
+
+Standard library only; no matplotlib, no third-party JSON.
+"""
+
+import argparse
+import json
+import sys
+
+# Keep in lockstep with bench/trajectory_runner.cc.
+MARGIN_FLOOR = 0.35
+NOISE_MULT = 3.0
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def load_metrics(path):
+    """Return {probe: {"value": v, "noise": n, "kind": k}} for one file."""
+    with open(path) as f:
+        text = f.read().strip()
+    # A snapshot file is one (possibly pretty-printed) JSON document;
+    # bench output is one object per line. Try the document first.
+    doc = None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    if doc is None or (
+        isinstance(doc, dict) and doc.get("bench") == "trajectory"
+    ):
+        # Bench JSONL: take the last trajectory line in the file.
+        metrics = None
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("bench") != "trajectory":
+                continue
+            metrics = {}
+            for key, value in obj.items():
+                if not isinstance(value, (int, float)) or key.endswith(
+                    ".noise"
+                ):
+                    continue
+                if key in ("regressions", "sim_events", "sim_host_seconds",
+                           "sim_host_event_rate"):
+                    continue
+                metrics[key] = {
+                    "value": float(value),
+                    "noise": float(obj.get(key + ".noise", 0.0)),
+                    "kind": "rate" if "rate" in key else "seconds",
+                }
+        if metrics is None:
+            sys.exit(f"{path}: no trajectory line found")
+        return metrics
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        sys.exit(f"{path}: not a trajectory snapshot (no 'metrics')")
+    return {
+        name: {
+            "value": float(entry["value"]),
+            "noise": float(entry.get("noise", 0.0)),
+            "kind": entry.get("kind", "seconds"),
+        }
+        for name, entry in doc["metrics"].items()
+    }
+
+
+def fmt_value(kind, value):
+    if kind == "rate":
+        return f"{value / 1e6:.2f} Mev/s"
+    return f"{value:.3f} s"
+
+
+def pct(x):
+    return f"{100.0 * x:+.1f}%"
+
+
+def all_probes(snapshots):
+    seen = []
+    for snap in snapshots:
+        for name in snap:
+            if name not in seen:
+                seen.append(name)
+    return seen
+
+
+def cmd_report(args):
+    snaps = [load_metrics(p) for p in args.files]
+    names = all_probes(snaps)
+    width = max(len(n) for n in names)
+    for name in names:
+        cells = []
+        for snap in snaps:
+            entry = snap.get(name)
+            cells.append(
+                fmt_value(entry["kind"], entry["value"]) if entry else "-"
+            )
+        first = next((s[name] for s in snaps if name in s), None)
+        last = next(
+            (s[name] for s in reversed(snaps) if name in s), None
+        )
+        trend = "-"
+        if first and last and first["value"] > 0:
+            change = (last["value"] - first["value"]) / first["value"]
+            # Present so positive always means "faster".
+            if last["kind"] != "rate":
+                change = -change
+            trend = pct(change)
+        print(f"{name:<{width}}  " + "  ".join(cells) + f"  [{trend}]")
+    return 0
+
+
+def cmd_diff(args):
+    base = load_metrics(args.base)
+    cur = load_metrics(args.current)
+    regressions = 0
+    width = max(len(n) for n in all_probes([base, cur]))
+    for name in all_probes([base, cur]):
+        if name not in base:
+            print(f"{name:<{width}}  (not in baseline)")
+            continue
+        if name not in cur:
+            print(f"{name:<{width}}  (not in current)")
+            continue
+        b, c = base[name], cur[name]
+        higher_better = b["kind"] == "rate"
+        margin = max(
+            MARGIN_FLOOR, NOISE_MULT * (b["noise"] + c["noise"])
+        )
+        if b["value"] <= 0:
+            continue
+        worse_by = (
+            (b["value"] - c["value"]) / b["value"]
+            if higher_better
+            else (c["value"] - b["value"]) / b["value"]
+        )
+        verdict = "REGRESSED" if worse_by > margin else "ok"
+        if worse_by > margin:
+            regressions += 1
+        print(
+            f"{name:<{width}}  {fmt_value(b['kind'], b['value']):>14}"
+            f" -> {fmt_value(c['kind'], c['value']):>14}"
+            f"  {pct(-worse_by):>8}"
+            f"  (margin {margin * 100:.0f}%)  {verdict}"
+        )
+    if regressions:
+        print(f"{regressions} probe(s) regressed beyond the noise margin")
+        return 1
+    return 0
+
+
+def cmd_plot(args):
+    snaps = [load_metrics(p) for p in args.files]
+    names = [
+        n
+        for n in all_probes(snaps)
+        if not args.match or args.match in n
+    ]
+    width = max((len(n) for n in names), default=0)
+    for name in names:
+        values = [s[name]["value"] for s in snaps if name in s]
+        if len(values) < 2:
+            continue
+        lo, hi = min(values), max(values)
+        span = hi - lo
+        marks = "".join(
+            SPARK[
+                int((v - lo) / span * (len(SPARK) - 1)) if span else 0
+            ]
+            for v in values
+        )
+        kind = next(s[name]["kind"] for s in snaps if name in s)
+        print(
+            f"{name:<{width}}  {marks}  "
+            f"[{fmt_value(kind, lo)} .. {fmt_value(kind, hi)}]"
+        )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_report = sub.add_parser("report", help="trend table across snapshots")
+    p_report.add_argument("files", nargs="+")
+    p_report.set_defaults(fn=cmd_report)
+
+    p_diff = sub.add_parser("diff", help="noise-aware two-file comparison")
+    p_diff.add_argument("base")
+    p_diff.add_argument("current")
+    p_diff.set_defaults(fn=cmd_diff)
+
+    p_plot = sub.add_parser("plot", help="ASCII sparkline per probe")
+    p_plot.add_argument("files", nargs="+")
+    p_plot.add_argument("-m", "--match", help="probe-name substring")
+    p_plot.set_defaults(fn=cmd_plot)
+
+    args = parser.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()
