@@ -110,6 +110,57 @@ allProbes(unsigned sweep_jobs)
                           });
                       }});
 
+    // Checkpoint-layer throughput and the warm-start win it buys.
+    probes.push_back({"checkpoint.save_restore_mbps", true, 3, [] {
+                          machine::CedarMachine machine;
+                          kernels::Rank64Params p;
+                          p.n = 192;
+                          p.clusters = 2;
+                          p.version =
+                              kernels::Rank64Version::gm_prefetch;
+                          kernels::runRank64(machine, p);
+                          double bytes = 0.0;
+                          double secs = timedSeconds([&] {
+                              for (int i = 0; i < 5; ++i) {
+                                  std::string s =
+                                      machine.saveCheckpoint();
+                                  machine.restoreCheckpoint(s);
+                                  bytes += 2.0 * double(s.size());
+                              }
+                          });
+                          return secs > 0.0
+                                     ? bytes / (1024.0 * 1024.0) / secs
+                                     : 0.0;
+                      }});
+    probes.push_back(
+        {"checkpoint.warm_speedup", true, 2, [] {
+             // A sweep point that resumes from a shared live-point
+             // pays one measured unit instead of warm-up + unit.
+             kernels::Rank64Params p;
+             p.n = 192;
+             p.clusters = 2;
+             p.version = kernels::Rank64Version::gm_prefetch;
+             auto unit = [&p](machine::CedarMachine &m) {
+                 kernels::runRank64(m, p);
+             };
+             const unsigned warmup = 3;
+             machine::CedarMachine warm_machine;
+             for (unsigned u = 0; u < warmup; ++u)
+                 unit(warm_machine);
+             std::string live = warm_machine.saveCheckpoint();
+             double cold = timedSeconds([&] {
+                 machine::CedarMachine m;
+                 for (unsigned u = 0; u <= warmup; ++u)
+                     unit(m);
+             });
+             double warm = timedSeconds([&] {
+                 machine::CedarMachine m;
+                 m.restoreCheckpoint(live);
+                 unit(m);
+             });
+             return warm > 0.0 ? cold / warm : 0.0;
+         }});
+
     for (const char *sweep : {"table1_rank64", "ppt4_scalability",
                               "ppt5_scaled", "ablation_network"}) {
         probes.push_back(

@@ -10,6 +10,15 @@
  * record per `--interval` ticks, plus a final record) from every run
  * to the given file — the raw material for utilization curves.
  *
+ * Checkpoint workflows (DESIGN.md §11):
+ *   --save-checkpoint FILE     after the 4-cluster run, serialize the
+ *                              quiesced machine to FILE
+ *   --restore-checkpoint FILE  restore FILE into a fresh machine and
+ *                              print its report (cross-process restore)
+ *   --checkpoint-info FILE     print FILE's manifest (schema, tick,
+ *                              sections, CRCs) and exit — the triage
+ *                              view for corrupt/version-skewed files
+ *
  *   $ ./examples/machine_inspector [--stats-json] [--chrome-trace FILE]
  *                                  [--telemetry FILE [--interval N]]
  */
@@ -21,6 +30,7 @@
 
 #include "core/cedar.hh"
 #include "core/machine_report.hh"
+#include "sim/checkpoint.hh"
 #include "sim/telemetry.hh"
 
 using namespace cedar;
@@ -32,6 +42,9 @@ main(int argc, char **argv)
     bool stats_json = false;
     const char *trace_path = nullptr;
     const char *telemetry_path = nullptr;
+    const char *save_ckpt = nullptr;
+    const char *restore_ckpt = nullptr;
+    const char *info_ckpt = nullptr;
     Tick interval = 50'000;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats-json") == 0)
@@ -42,6 +55,15 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--telemetry") == 0 &&
                  i + 1 < argc)
             telemetry_path = argv[++i];
+        else if (std::strcmp(argv[i], "--save-checkpoint") == 0 &&
+                 i + 1 < argc)
+            save_ckpt = argv[++i];
+        else if (std::strcmp(argv[i], "--restore-checkpoint") == 0 &&
+                 i + 1 < argc)
+            restore_ckpt = argv[++i];
+        else if (std::strcmp(argv[i], "--checkpoint-info") == 0 &&
+                 i + 1 < argc)
+            info_ckpt = argv[++i];
         else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
             long long n = std::atoll(argv[++i]);
             if (n < 1) {
@@ -49,6 +71,46 @@ main(int argc, char **argv)
                 return 2;
             }
             interval = Tick(n);
+        }
+    }
+
+    // Manifest-only mode: decode the container without restoring.
+    // describeCheckpoint validates magic, CRCs, and schema, so a
+    // corrupt or version-skewed file dies here with the typed error.
+    if (info_ckpt) {
+        try {
+            std::fputs(describeCheckpoint(readCheckpointFile(info_ckpt))
+                           .c_str(),
+                       stdout);
+            return 0;
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
+
+    // Restore mode: bring FILE up in a fresh standard machine and
+    // print the same report a live run would, proving the snapshot is
+    // self-contained across processes.
+    if (restore_ckpt) {
+        try {
+            machine::CedarMachine machine;
+            machine.restoreCheckpoint(readCheckpointFile(restore_ckpt));
+            std::printf("################ restored from %s (tick %llu) "
+                        "################\n",
+                        restore_ckpt,
+                        static_cast<unsigned long long>(
+                            machine.sim().curTick()));
+            auto snap = core::snapshot(machine);
+            std::fputs(core::renderReport(snap).c_str(), stdout);
+            if (stats_json) {
+                std::fputs(machine.stats().dumpJson().c_str(), stdout);
+                std::fputs("\n", stdout);
+            }
+            return 0;
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
         }
     }
 
@@ -117,6 +179,19 @@ main(int argc, char **argv)
                 } else {
                     std::printf("failed to write %s\n", trace_path);
                 }
+            }
+            if (save_ckpt) {
+                // The monitor's trace buffer is not serializable, so
+                // detach it before snapshotting the quiesced machine.
+                machine.disableMonitoring();
+                std::string bytes = machine.saveCheckpoint();
+                writeCheckpointFile(save_ckpt, bytes);
+                std::printf("\ncheckpoint written to %s (%zu bytes, "
+                            "tick %llu); inspect with --checkpoint-info,"
+                            " revive with --restore-checkpoint\n",
+                            save_ckpt, bytes.size(),
+                            static_cast<unsigned long long>(
+                                machine.sim().curTick()));
             }
         }
     }

@@ -192,4 +192,67 @@ SharedCache::resetStats()
     _bandwidth.resetStats();
 }
 
+void
+SharedCache::saveState(CheckpointWriter &w) const
+{
+    auto &sec = w.section(name());
+    sec.u64("lru_clock", _lru_clock);
+    sec.u64("pending_writeback_words", _pending_writeback_words);
+    sec.counter("hits", _hits);
+    sec.counter("misses", _misses);
+    sec.counter("writebacks", _writebacks);
+    _bandwidth.saveFields(sec, "bandwidth");
+    // Tag store as one blob: 17 bytes per way (tag, lru, flag bits),
+    // sets outer, ways inner — the geometry is config-determined.
+    std::string blob;
+    blob.reserve(std::size_t(_num_sets) * _params.ways * 17);
+    for (const auto &set : _sets) {
+        for (const Way &way : set) {
+            for (int i = 0; i < 8; ++i)
+                blob.push_back(char((way.tag >> (8 * i)) & 0xFF));
+            for (int i = 0; i < 8; ++i)
+                blob.push_back(char((way.lru >> (8 * i)) & 0xFF));
+            blob.push_back(char((way.valid ? 1 : 0) |
+                                (way.dirty ? 2 : 0)));
+        }
+    }
+    sec.bytes("tag_store", blob);
+}
+
+void
+SharedCache::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    _lru_clock = sec.u64("lru_clock");
+    _pending_writeback_words = sec.u64("pending_writeback_words");
+    sec.counter("hits", _hits);
+    sec.counter("misses", _misses);
+    sec.counter("writebacks", _writebacks);
+    _bandwidth.restoreFields(sec, "bandwidth");
+    const std::string &blob = sec.bytes("tag_store");
+    std::size_t want = std::size_t(_num_sets) * _params.ways * 17;
+    if (blob.size() != want) {
+        checkpointError(name(),
+                        "tag store blob is " +
+                            std::to_string(blob.size()) +
+                            " bytes, geometry needs " +
+                            std::to_string(want) +
+                            " (cache configuration mismatch?)");
+    }
+    const auto *p = reinterpret_cast<const unsigned char *>(blob.data());
+    for (auto &set : _sets) {
+        for (Way &way : set) {
+            way.tag = 0;
+            for (int i = 0; i < 8; ++i)
+                way.tag |= Addr(p[i]) << (8 * i);
+            way.lru = 0;
+            for (int i = 0; i < 8; ++i)
+                way.lru |= std::uint64_t(p[8 + i]) << (8 * i);
+            way.valid = (p[16] & 1) != 0;
+            way.dirty = (p[16] & 2) != 0;
+            p += 17;
+        }
+    }
+}
+
 } // namespace cedar::cluster

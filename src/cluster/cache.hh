@@ -115,6 +115,10 @@ class SharedCache : public Named
 
     void resetStats();
 
+    /** Full tag store, LRU clock, bandwidth clock, and counters. */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(const CheckpointReader &r);
+
   private:
     struct Way
     {

@@ -117,6 +117,9 @@ class CcBarrier
     /** Number of CEs currently waiting. */
     std::size_t waiting() const { return _waiters.size(); }
 
+    /** Gang size this barrier was created over. */
+    unsigned participants() const { return _participants; }
+
   private:
     struct Entry
     {
@@ -241,6 +244,24 @@ class ConcurrencyControlBus : public Named
         _starts.reset();
         _dispatches.reset();
         _bus.resetStats();
+    }
+
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        auto &sec = w.section(name());
+        sec.counter("starts", _starts);
+        sec.counter("dispatches", _dispatches);
+        _bus.saveFields(sec, "bus");
+    }
+
+    void
+    restoreState(const CheckpointReader &r)
+    {
+        const auto &sec = r.section(name());
+        sec.counter("starts", _starts);
+        sec.counter("dispatches", _dispatches);
+        _bus.restoreFields(sec, "bus");
     }
 
   private:

@@ -281,4 +281,35 @@ ComputationalElement::advance()
     }
 }
 
+void
+ComputationalElement::saveState(CheckpointWriter &w) const
+{
+    if (_stream || _have_op || _waiting || _gv.active) {
+        checkpointError(name(),
+                        "CE is mid-stream; checkpoints are legal only "
+                        "at quiescent points (between runtime phases)");
+    }
+    auto &sec = w.section(name());
+    sec.f64("flops", _flops);
+    sec.counter("ops", _ops);
+    sec.u64("last_done", _last_done);
+    _pfu->saveState(w);
+}
+
+void
+ComputationalElement::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    _flops = sec.f64("flops");
+    sec.counter("ops", _ops);
+    _last_done = sec.u64("last_done");
+    _stream = nullptr;
+    _done_listener = nullptr;
+    _on_done = nullptr;
+    _have_op = false;
+    _waiting = false;
+    _gv = GlobalVector{};
+    _pfu->restoreState(r);
+}
+
 } // namespace cedar::cluster

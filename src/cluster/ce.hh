@@ -127,6 +127,14 @@ class ComputationalElement : public Named,
         _pfu->resetStats();
     }
 
+    /**
+     * Accumulated flops/ops and the PFU's state. Requires an idle CE:
+     * op streams are workload closures and cannot be serialized, so a
+     * busy CE refuses with a `checkpoint` SimError.
+     */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(const CheckpointReader &r);
+
     /** BarrierWaiter: resume after a concurrency-bus barrier release. */
     void barrierReleased(Tick when) override;
 

@@ -78,4 +78,51 @@ Cluster::resetStats()
     _ccb->resetStats();
 }
 
+void
+Cluster::saveState(CheckpointWriter &w) const
+{
+    auto &sec = w.section(name());
+    sec.u64("next_barrier_id", _next_barrier_id);
+    sec.u64("barrier_count", _barriers.size());
+    std::size_t i = 0;
+    for (const auto &[id, barrier] : _barriers) {
+        if (barrier.waiting() != 0) {
+            checkpointError(name(),
+                            "barrier " + std::to_string(id) + " has " +
+                                std::to_string(barrier.waiting()) +
+                                " waiters; checkpoints are legal only "
+                                "at quiescent points");
+        }
+        std::string key = "barrier" + std::to_string(i++);
+        sec.u64(key + ".id", id);
+        sec.u64(key + ".participants", barrier.participants());
+    }
+    _cmem->saveState(w);
+    _cache->saveState(w);
+    _ccb->saveState(w);
+    for (const auto &ce : _ces)
+        ce->saveState(w);
+}
+
+void
+Cluster::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    _next_barrier_id = static_cast<unsigned>(sec.u64("next_barrier_id"));
+    _barriers.clear();
+    std::uint64_t count = sec.u64("barrier_count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string key = "barrier" + std::to_string(i);
+        auto id = static_cast<unsigned>(sec.u64(key + ".id"));
+        auto participants =
+            static_cast<unsigned>(sec.u64(key + ".participants"));
+        _barriers.emplace(id, _ccb->makeBarrier(participants));
+    }
+    _cmem->restoreState(r);
+    _cache->restoreState(r);
+    _ccb->restoreState(r);
+    for (auto &ce : _ces)
+        ce->restoreState(r);
+}
+
 } // namespace cedar::cluster

@@ -77,6 +77,14 @@ class Cluster : public Named, public BarrierProvider
 
     void resetStats();
 
+    /**
+     * Everything under the cluster: cache, cluster memory, bus, CEs
+     * (and their PFUs), plus the barrier table (id -> participants; a
+     * quiescent barrier holds no waiters, so identity is its state).
+     */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(const CheckpointReader &r);
+
   private:
     Simulation &_sim;
     ClusterParams _params;

@@ -55,6 +55,18 @@ class ClusterMemory : public Named
 
     void resetStats() { _bandwidth.resetStats(); }
 
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        _bandwidth.saveFields(w.section(name()), "bandwidth");
+    }
+
+    void
+    restoreState(const CheckpointReader &r)
+    {
+        _bandwidth.restoreFields(r.section(name()), "bandwidth");
+    }
+
   private:
     ClusterMemoryParams _params;
     FluidResource _bandwidth;

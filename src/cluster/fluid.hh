@@ -13,6 +13,7 @@
 #ifndef CEDARSIM_CLUSTER_FLUID_HH
 #define CEDARSIM_CLUSTER_FLUID_HH
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -81,6 +82,25 @@ class FluidResource
     {
         _words.reset();
         _wait_slots.reset();
+    }
+
+    /** Write the resource's mutable state under @p prefix. */
+    void
+    saveFields(CheckpointSectionWriter &w, const std::string &prefix) const
+    {
+        w.u64(prefix + ".next_free_slot", _next_free_slot);
+        w.counter(prefix + ".words", _words);
+        w.sample(prefix + ".wait_slots", _wait_slots);
+    }
+
+    /** Exact inverse of saveFields(). */
+    void
+    restoreFields(const CheckpointSectionReader &r,
+                  const std::string &prefix)
+    {
+        _next_free_slot = r.u64(prefix + ".next_free_slot");
+        r.counter(prefix + ".words", _words);
+        r.sample(prefix + ".wait_slots", _wait_slots);
     }
 
   private:

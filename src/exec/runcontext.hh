@@ -24,25 +24,24 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/random.hh"
+
 namespace cedar::exec {
 
 /** Master seed used when a caller does not supply one. */
 constexpr std::uint64_t default_master_seed = 0xCEDAE8ECULL;
 
 /**
- * Derive the seed of run @p index from @p master (SplitMix64 mixing).
- * Pure function of its arguments: run 5 gets the same seed whether it
- * executes first, last, serially, or on any worker, and neighbouring
- * indices get statistically independent streams.
+ * Derive the seed of run @p index from @p master. Pure function of its
+ * arguments: run 5 gets the same seed whether it executes first, last,
+ * serially, or on any worker, and neighbouring indices get
+ * statistically independent streams. The mixing itself lives in
+ * sim/random.hh with every other seed primitive.
  */
 constexpr std::uint64_t
 deriveSeed(std::uint64_t master, std::size_t index)
 {
-    std::uint64_t z =
-        master + 0x9E3779B97F4A7C15ULL * (std::uint64_t(index) + 1);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
+    return cedar::deriveSeed(master, std::uint64_t(index));
 }
 
 /** What one submitted run is given to execute with. */

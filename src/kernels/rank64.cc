@@ -351,7 +351,10 @@ runRank64(machine::CedarMachine &machine, const Rank64Params &params)
 
     // Gang-start every participating cluster.
     for (unsigned c = 0; c < params.clusters; ++c) {
-        Tick at = machine.clusterAt(c).ccb().concurrentStart(0);
+        // curTick, not 0: a phased workload re-runs the kernel on an
+        // already-advanced machine (src/sample live-point windows).
+        Tick at =
+            machine.clusterAt(c).ccb().concurrentStart(machine.sim().curTick());
         for (unsigned e = 0; e < per_ce; ++e) {
             auto *stream = streams[c * per_ce + e].get();
             machine.sim().schedule(at, [&machine, &done, stream, c, e] {

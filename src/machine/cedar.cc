@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "mem/address.hh"
+#include "sim/checkpoint.hh"
 
 namespace cedar::machine {
 
@@ -193,6 +194,114 @@ CedarMachine::resetStats()
     for (auto &c : _clusters)
         c->resetStats();
     _runtime.reset();
+}
+
+std::string
+CedarMachine::saveCheckpoint() const
+{
+    if (_monitoring) {
+        checkpointError(name(),
+                        "monitoring is armed; monitor traces are not "
+                        "serializable — disableMonitoring() first");
+    }
+    CheckpointWriter w(_sim.curTick());
+    // The engine refuses a non-drained queue, so write it first: a
+    // machine that is not quiescent fails before any component runs.
+    _sim.saveState(w);
+
+    auto &sec = w.section(child("machine"));
+    sec.str("config", _config.fingerprint());
+    sec.u64("next_global", _next_global);
+    sec.u64("next_cluster_addr", _next_cluster_addr);
+    sec.u64("faults_armed", _faults ? 1 : 0);
+    sec.u64("telemetry_armed", _telemetry ? 1 : 0);
+    sec.counter("cdoall_starts", _runtime.cdoall_starts);
+    sec.counter("xdoall_starts", _runtime.xdoall_starts);
+    sec.counter("sdoall_starts", _runtime.sdoall_starts);
+    sec.counter("sdoall_dispatches", _runtime.sdoall_dispatches);
+    sec.counter("iterations", _runtime.iterations);
+    sec.counter("sync_retries", _runtime.sync_retries);
+    sec.counter("lock_retries", _runtime.lock_retries);
+    sec.counter("dropped_ces", _runtime.dropped_ces);
+
+    _gm->saveState(w);
+    for (const auto &c : _clusters)
+        c->saveState(w);
+    _watchdog.saveState(w);
+    if (_faults)
+        _faults->saveState(w);
+    if (_telemetry)
+        _telemetry->saveState(w);
+    return w.finish();
+}
+
+void
+CedarMachine::restoreCheckpoint(const std::string &snapshot)
+{
+    if (_monitoring) {
+        checkpointError(name(),
+                        "monitoring is armed; disableMonitoring() "
+                        "before restoring");
+    }
+    CheckpointReader r(snapshot);
+
+    const auto &sec = r.section(child("machine"));
+    const std::string &fp = sec.str("config");
+    if (fp != _config.fingerprint()) {
+        checkpointError(name(),
+                        "configuration mismatch: snapshot was taken on "
+                        "'" + fp + "' but this machine is '" +
+                            _config.fingerprint() + "'");
+    }
+
+    bool snap_faults = sec.u64("faults_armed") != 0;
+    if (snap_faults && !_faults) {
+        // Re-arm from the snapshot's own spec; lanes and counters are
+        // then overwritten below, and the GM cell restore supersedes
+        // the failModule() rebuild injectFaults() performs.
+        injectFaults(FaultSpec::parse(
+            r.section(child("faults")).str("spec")));
+    } else if (!snap_faults && _faults) {
+        checkpointError(name(),
+                        "this machine has fault injection armed but "
+                        "the snapshot was taken without faults");
+    }
+
+    bool snap_telemetry = sec.u64("telemetry_armed") != 0;
+    if (snap_telemetry && !_telemetry) {
+        checkpointError(name(),
+                        "snapshot carries telemetry state; arm a "
+                        "sampler with the same parameters "
+                        "(enableTelemetry) before restoring");
+    }
+    if (!snap_telemetry && _telemetry) {
+        checkpointError(name(),
+                        "this machine has telemetry armed but the "
+                        "snapshot was taken without it");
+    }
+    // The sampler deschedules its own pending event, emptying the
+    // queue ahead of the engine restore; resume() re-arms it after.
+    if (_telemetry && snap_telemetry)
+        _telemetry->restoreState(r);
+
+    _sim.restoreState(r);
+    _gm->restoreState(r);
+    for (auto &c : _clusters)
+        c->restoreState(r);
+    _watchdog.restoreState(r);
+    if (_faults)
+        _faults->restoreState(r);
+
+    _next_global = sec.u64("next_global");
+    _next_cluster_addr = sec.u64("next_cluster_addr");
+    sec.counter("cdoall_starts", _runtime.cdoall_starts);
+    sec.counter("xdoall_starts", _runtime.xdoall_starts);
+    sec.counter("sdoall_starts", _runtime.sdoall_starts);
+    sec.counter("sdoall_dispatches", _runtime.sdoall_dispatches);
+    sec.counter("iterations", _runtime.iterations);
+    sec.counter("sync_retries", _runtime.sync_retries);
+    sec.counter("lock_retries", _runtime.lock_retries);
+    sec.counter("dropped_ces", _runtime.dropped_ces);
 }
 
 } // namespace cedar::machine

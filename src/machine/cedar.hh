@@ -178,6 +178,26 @@ class CedarMachine : public Named
     /** The armed telemetry sampler, or nullptr. */
     TelemetrySampler *telemetry() { return _telemetry.get(); }
 
+    /**
+     * Serialize the whole machine into a snapshot (see
+     * sim/checkpoint.hh for the format). Legal only at a quiescent
+     * point: the event queue has drained (between run() phases), no CE
+     * holds a stream, and monitoring is off. Raises a `checkpoint`
+     * SimError otherwise.
+     */
+    std::string saveCheckpoint() const;
+
+    /**
+     * Restore a snapshot taken by saveCheckpoint() from a machine of
+     * the identical configuration (fingerprint-checked). Fault
+     * injection is re-armed automatically when the snapshot carries
+     * it. If telemetry was armed at save, arm a sampler with the same
+     * parameters before restoring, then call telemetry()->resume()
+     * after. The restored machine continues bit-identically to the
+     * uninterrupted run.
+     */
+    void restoreCheckpoint(const std::string &snapshot);
+
   private:
     void registerStats();
 

@@ -10,6 +10,7 @@
 #ifndef CEDARSIM_MACHINE_CONFIG_HH
 #define CEDARSIM_MACHINE_CONFIG_HH
 
+#include <sstream>
 #include <string>
 
 #include "cluster/cluster.hh"
@@ -93,6 +94,52 @@ struct CedarConfig
     standard()
     {
         return CedarConfig{};
+    }
+
+    /**
+     * Canonical string of every behaviour-affecting parameter. A
+     * checkpoint stores it and restore refuses a machine whose
+     * fingerprint differs — restoring into a different geometry or
+     * timing model cannot reproduce the run. The watchdog knobs are
+     * deliberately excluded: they never alter simulated behaviour.
+     */
+    std::string
+    fingerprint() const
+    {
+        std::ostringstream os;
+        os << "clusters=" << num_clusters << ";ces=" << cluster.num_ces
+           << ";ce=" << cluster.ce.vector_startup << ","
+           << cluster.ce.vector_mem_overhead << ","
+           << cluster.ce.issue_cycles << "," << cluster.ce.drain_cycles
+           << "," << cluster.ce.max_outstanding << ","
+           << cluster.ce.ops_per_event << ";pfu="
+           << cluster.pfu.buffer_words << ","
+           << cluster.pfu.issue_interval << ","
+           << cluster.pfu.max_outstanding << ","
+           << cluster.pfu.buffer_fill << ","
+           << cluster.pfu.arm_fire_cycles << ","
+           << cluster.pfu.page_cross_penalty << ","
+           << cluster.pfu.drain_cycles << ";cache="
+           << cluster.cache.capacity_kb << "," << cluster.cache.line_bytes
+           << "," << cluster.cache.ways << ","
+           << cluster.cache.words_per_cycle << ","
+           << cluster.cache.misses_per_ce << ","
+           << cluster.cache.contention_penalty_pct << ";cmem="
+           << cluster.cmem.words_per_cycle << "," << cluster.cmem.latency
+           << "," << cluster.cmem.capacity_mb << ","
+           << cluster.cmem.contention_penalty_pct << ";ccb="
+           << cluster.ccb.concurrent_start_cycles << ","
+           << cluster.ccb.dispatch_cycles << ","
+           << cluster.ccb.join_cycles << ";gm=" << gm.num_ports << ","
+           << gm.hop_latency << "," << gm.word_occupancy << ","
+           << gm.num_modules << "," << gm.module_access_cycles << ","
+           << gm.sync_extra_cycles << "," << gm.module_conflict_extra
+           << "," << gm.read_request_words << ","
+           << gm.read_response_words << "," << gm.write_request_words
+           << "," << gm.port_queue_words << ";radices=";
+        for (std::size_t i = 0; i < gm.stage_radices.size(); ++i)
+            os << (i ? "." : "") << gm.stage_radices[i];
+        return os.str();
     }
 
     /** Peak MFLOPS (chained vector multiply-add on every CE). */

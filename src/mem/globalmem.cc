@@ -203,4 +203,44 @@ GlobalMemory::resetStats()
     _read_latency.reset();
 }
 
+void
+GlobalMemory::saveState(CheckpointWriter &w) const
+{
+    auto &sec = w.section(name());
+    sec.counter("reads", _reads);
+    sec.counter("writes", _writes);
+    sec.counter("syncs", _syncs);
+    sec.sample("read_latency", _read_latency);
+    sec.i64("failed_module", _failed_module);
+    _forward->saveState(w);
+    _reverse->saveState(w);
+    for (const auto &m : _modules)
+        m->saveState(w);
+    _spare->saveState(w);
+}
+
+void
+GlobalMemory::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    sec.counter("reads", _reads);
+    sec.counter("writes", _writes);
+    sec.counter("syncs", _syncs);
+    sec.sample("read_latency", _read_latency);
+    auto failed = sec.i64("failed_module");
+    if (failed < -1 || failed >= static_cast<std::int64_t>(numModules())) {
+        checkpointError(name(), "snapshot failed_module " +
+                                    std::to_string(failed) +
+                                    " is out of range for " +
+                                    std::to_string(numModules()) +
+                                    " modules");
+    }
+    _failed_module = static_cast<int>(failed);
+    _forward->restoreState(r);
+    _reverse->restoreState(r);
+    for (auto &m : _modules)
+        m->restoreState(r);
+    _spare->restoreState(r);
+}
+
 } // namespace cedar::mem

@@ -66,7 +66,7 @@ struct GmResult
 };
 
 /** The globally shared memory plus its two networks. */
-class GlobalMemory : public Named
+class GlobalMemory : public Named, public Checkpointable
 {
   public:
     GlobalMemory(const std::string &name, const GlobalMemoryParams &params);
@@ -143,6 +143,15 @@ class GlobalMemory : public Named
     void registerStats(StatRegistry &reg);
 
     void resetStats();
+
+    /**
+     * Own counters plus both networks and every module (spare
+     * included). Restores the failed-module index directly — the
+     * spare's cells come from its own section, so no ECC rebuild is
+     * re-run on restore.
+     */
+    void saveState(CheckpointWriter &w) const override;
+    void restoreState(const CheckpointReader &r) override;
 
   private:
     unsigned networkPortOfModule(unsigned module) const;

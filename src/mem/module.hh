@@ -8,10 +8,13 @@
 #ifndef CEDARSIM_MEM_MODULE_HH
 #define CEDARSIM_MEM_MODULE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/syncops.hh"
+#include "sim/checkpoint.hh"
 #include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/probes.hh"
@@ -22,7 +25,7 @@
 namespace cedar::mem {
 
 /** A single interleaved memory module. */
-class MemoryModule : public Named
+class MemoryModule : public Named, public Checkpointable
 {
   public:
     /**
@@ -162,6 +165,69 @@ class MemoryModule : public Named
         _ecc_corrected.reset();
         _ecc_retried.reset();
         _wait.reset();
+    }
+
+    void
+    saveState(CheckpointWriter &w) const override
+    {
+        auto &sec = w.section(name());
+        sec.u64("bank_free", _bank_free);
+        sec.counter("accesses", _accesses);
+        sec.counter("sync_ops", _sync_ops);
+        sec.counter("conflicts", _conflicts);
+        sec.counter("ecc_corrected", _ecc_corrected);
+        sec.counter("ecc_retried", _ecc_retried);
+        sec.sample("wait", _wait);
+        // Functional cells, sorted by address so the blob (and the
+        // snapshot's CRC) is independent of hash-map iteration order.
+        std::vector<std::pair<Addr, std::int32_t>> cells(_cells.begin(),
+                                                         _cells.end());
+        std::sort(cells.begin(), cells.end());
+        std::string blob;
+        blob.reserve(cells.size() * 12);
+        for (const auto &[addr, value] : cells) {
+            for (int i = 0; i < 8; ++i)
+                blob.push_back(char((addr >> (8 * i)) & 0xFF));
+            auto uv = static_cast<std::uint32_t>(value);
+            for (int i = 0; i < 4; ++i)
+                blob.push_back(char((uv >> (8 * i)) & 0xFF));
+        }
+        sec.u64("cell_count", cells.size());
+        sec.bytes("cells", blob);
+    }
+
+    void
+    restoreState(const CheckpointReader &r) override
+    {
+        const auto &sec = r.section(name());
+        _bank_free = sec.u64("bank_free");
+        sec.counter("accesses", _accesses);
+        sec.counter("sync_ops", _sync_ops);
+        sec.counter("conflicts", _conflicts);
+        sec.counter("ecc_corrected", _ecc_corrected);
+        sec.counter("ecc_retried", _ecc_retried);
+        sec.sample("wait", _wait);
+        std::uint64_t count = sec.u64("cell_count");
+        const std::string &blob = sec.bytes("cells");
+        if (blob.size() != count * 12) {
+            checkpointError(name(), "cell blob is " +
+                                        std::to_string(blob.size()) +
+                                        " bytes but cell_count says " +
+                                        std::to_string(count * 12));
+        }
+        _cells.clear();
+        _cells.reserve(count);
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(blob.data());
+        for (std::uint64_t c = 0; c < count; ++c, p += 12) {
+            Addr addr = 0;
+            for (int i = 0; i < 8; ++i)
+                addr |= Addr(p[i]) << (8 * i);
+            std::uint32_t uv = 0;
+            for (int i = 0; i < 4; ++i)
+                uv |= std::uint32_t(p[8 + i]) << (8 * i);
+            _cells[addr] = static_cast<std::int32_t>(uv);
+        }
     }
 
   private:

@@ -183,4 +183,35 @@ OmegaNetwork::resetStats()
     _backpressure.reset();
 }
 
+void
+OmegaNetwork::saveState(CheckpointWriter &w) const
+{
+    auto &sec = w.section(name());
+    sec.sample("queueing", _queueing);
+    sec.counter("retransmits", _retransmits);
+    sec.counter("backpressure_stalls", _backpressure);
+    for (std::size_t s = 0; s < _stages.size(); ++s) {
+        for (std::size_t p = 0; p < _stages[s].size(); ++p) {
+            _stages[s][p].saveFields(sec, "s" + std::to_string(s) +
+                                              ".p" + std::to_string(p));
+        }
+    }
+}
+
+void
+OmegaNetwork::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    sec.sample("queueing", _queueing);
+    sec.counter("retransmits", _retransmits);
+    sec.counter("backpressure_stalls", _backpressure);
+    for (std::size_t s = 0; s < _stages.size(); ++s) {
+        for (std::size_t p = 0; p < _stages[s].size(); ++p) {
+            _stages[s][p].restoreFields(sec, "s" + std::to_string(s) +
+                                                 ".p" +
+                                                 std::to_string(p));
+        }
+    }
+}
+
 } // namespace cedar::net

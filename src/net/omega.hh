@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/port.hh"
+#include "sim/checkpoint.hh"
 #include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/probes.hh"
@@ -51,7 +52,7 @@ struct TraversalResult
  * A unidirectional multistage network (Cedar has two: forward to the
  * memory modules and reverse back to the processors).
  */
-class OmegaNetwork : public Named
+class OmegaNetwork : public Named, public Checkpointable
 {
   public:
     /**
@@ -146,6 +147,10 @@ class OmegaNetwork : public Named
     void registerStats(StatRegistry &reg);
 
     void resetStats();
+
+    /** Every port's reservation clock and statistics, one section. */
+    void saveState(CheckpointWriter &w) const override;
+    void restoreState(const CheckpointReader &r) override;
 
   private:
     TraversalResult traverseOnce(unsigned in_port, unsigned dest,

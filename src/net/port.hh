@@ -12,6 +12,7 @@
 #ifndef CEDARSIM_NET_PORT_HH
 #define CEDARSIM_NET_PORT_HH
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -118,6 +119,29 @@ class LinkPort
         _words.reset();
         _packets.reset();
         _busy_cycles = 0;
+    }
+
+    /** Write the port's mutable state under @p prefix. */
+    void
+    saveFields(CheckpointSectionWriter &w, const std::string &prefix) const
+    {
+        w.u64(prefix + ".next_free", _next_free);
+        w.u64(prefix + ".busy_cycles", _busy_cycles);
+        w.counter(prefix + ".words", _words);
+        w.counter(prefix + ".packets", _packets);
+        w.sample(prefix + ".wait", _wait);
+    }
+
+    /** Exact inverse of saveFields(). */
+    void
+    restoreFields(const CheckpointSectionReader &r,
+                  const std::string &prefix)
+    {
+        _next_free = static_cast<Tick>(r.u64(prefix + ".next_free"));
+        _busy_cycles = static_cast<Tick>(r.u64(prefix + ".busy_cycles"));
+        r.counter(prefix + ".words", _words);
+        r.counter(prefix + ".packets", _packets);
+        r.sample(prefix + ".wait", _wait);
     }
 
   private:

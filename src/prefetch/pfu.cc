@@ -313,4 +313,93 @@ PrefetchUnit::resetStats()
     _page_crossings.reset();
 }
 
+namespace {
+
+std::string
+packTicks(const std::vector<Tick> &v)
+{
+    std::string blob;
+    blob.reserve(v.size() * 8);
+    for (Tick t : v)
+        for (int i = 0; i < 8; ++i)
+            blob.push_back(char((t >> (8 * i)) & 0xFF));
+    return blob;
+}
+
+std::vector<Tick>
+unpackTicks(const std::string &blob, const std::string &who,
+            const std::string &key)
+{
+    if (blob.size() % 8 != 0) {
+        checkpointError(who, "field '" + key + "' is " +
+                                 std::to_string(blob.size()) +
+                                 " bytes, not a multiple of 8");
+    }
+    std::vector<Tick> v(blob.size() / 8);
+    const auto *p = reinterpret_cast<const unsigned char *>(blob.data());
+    for (auto &t : v) {
+        t = 0;
+        for (int i = 0; i < 8; ++i)
+            t |= Tick(p[i]) << (8 * i);
+        p += 8;
+    }
+    return v;
+}
+
+} // namespace
+
+void
+PrefetchUnit::saveState(CheckpointWriter &w) const
+{
+    if (_issue_event.scheduled() || !_queries.empty()) {
+        checkpointError(name(),
+                        "PFU is mid-flight (pending issue or "
+                        "unanswered query); checkpoints are legal "
+                        "only at quiescent points");
+    }
+    auto &sec = w.section(name());
+    sec.u64("start", _start);
+    sec.u64("stride", _stride);
+    sec.u64("length", _length);
+    sec.u64("next_issue", _next_issue);
+    sec.u64("arrived", _arrived);
+    sec.u64("enabled_count", _enabled_count);
+    sec.bytes("arrivals", packTicks(_arrivals));
+    sec.bytes("request_arrivals", packTicks(_request_arrivals));
+    std::string mask(_mask.size(), '\0');
+    for (std::size_t i = 0; i < _mask.size(); ++i)
+        mask[i] = _mask[i] ? 1 : 0;
+    sec.bytes("mask", mask);
+    sec.counter("requests", _requests);
+    sec.counter("page_crossings", _page_crossings);
+    sec.sample("latency", _latency);
+    sec.sample("interarrival", _interarrival);
+}
+
+void
+PrefetchUnit::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    if (_issue_event.scheduled())
+        _sim.deschedule(_issue_event);
+    _queries.clear();
+    _start = sec.u64("start");
+    _stride = static_cast<unsigned>(sec.u64("stride"));
+    _length = static_cast<unsigned>(sec.u64("length"));
+    _next_issue = static_cast<unsigned>(sec.u64("next_issue"));
+    _arrived = static_cast<unsigned>(sec.u64("arrived"));
+    _enabled_count = static_cast<unsigned>(sec.u64("enabled_count"));
+    _arrivals = unpackTicks(sec.bytes("arrivals"), name(), "arrivals");
+    _request_arrivals = unpackTicks(sec.bytes("request_arrivals"), name(),
+                                    "request_arrivals");
+    const std::string &mask = sec.bytes("mask");
+    _mask.assign(mask.size(), false);
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        _mask[i] = mask[i] != 0;
+    sec.counter("requests", _requests);
+    sec.counter("page_crossings", _page_crossings);
+    sec.sample("latency", _latency);
+    sec.sample("interarrival", _interarrival);
+}
+
 } // namespace cedar::prefetch

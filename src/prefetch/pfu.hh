@@ -156,6 +156,14 @@ class PrefetchUnit : public Named
 
     void resetStats();
 
+    /**
+     * Arm state, buffer arrival records (a live block may be reused
+     * after restore via canReuse), and statistics. Requires a quiescent
+     * PFU: no pending issue event and no outstanding queries.
+     */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(const CheckpointReader &r);
+
   private:
     void beginFire(Addr start, unsigned length, unsigned stride,
                    Tick when);

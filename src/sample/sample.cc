@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Live-point sampling: warm-up, window permutation, CI stopping rule.
+ */
+
+#include "sample.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace cedar::sample {
+
+namespace {
+
+/** Fixed seed for the window permutation; part of determinism. */
+constexpr std::uint64_t window_shuffle_seed = 0x5A4D504CULL; // "SMPL"
+
+void
+validate(const PhasedWorkload &wl, const SampleParams &params)
+{
+    sim_assert(wl.run_unit, "workload needs a run_unit");
+    sim_assert(wl.total_units > 0, "workload needs at least one unit");
+    sim_assert(params.warmup_units < wl.total_units,
+               "warm-up (", params.warmup_units,
+               ") must leave at least one unit to sample (total ",
+               wl.total_units, ")");
+    sim_assert(params.min_windows > 0, "need at least one window");
+    sim_assert(params.target_rel_ci > 0.0, "CI target must be positive");
+}
+
+/** Fisher-Yates with a fixed-seed Rng: same span, same order, always. */
+std::vector<unsigned>
+windowOrder(unsigned first, unsigned last)
+{
+    std::vector<unsigned> order(last - first);
+    std::iota(order.begin(), order.end(), first);
+    Rng rng(window_shuffle_seed);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+    return order;
+}
+
+} // namespace
+
+FullRun
+runFull(const MachineFactory &factory, const PhasedWorkload &wl)
+{
+    sim_assert(wl.run_unit, "workload needs a run_unit");
+    sim_assert(wl.total_units > 0, "workload needs at least one unit");
+    FullRun result;
+    result.unit_metrics.reserve(wl.total_units);
+    auto machine = factory();
+    for (unsigned u = 0; u < wl.total_units; ++u)
+        result.unit_metrics.push_back(wl.run_unit(*machine, u));
+    result.mean = std::accumulate(result.unit_metrics.begin(),
+                                  result.unit_metrics.end(), 0.0) /
+                  static_cast<double>(result.unit_metrics.size());
+    return result;
+}
+
+SampledRun
+runSampled(const MachineFactory &factory, const PhasedWorkload &wl,
+           const SampleParams &params, std::string *live_point_io)
+{
+    validate(wl, params);
+
+    // Phase 1: the live-point — either reused from the caller's cache
+    // or produced by simulating the warm-up units in detail.
+    std::string live_point;
+    if (live_point_io && !live_point_io->empty()) {
+        live_point = *live_point_io;
+    } else {
+        auto machine = factory();
+        for (unsigned u = 0; u < params.warmup_units; ++u)
+            wl.run_unit(*machine, u);
+        live_point = machine->saveCheckpoint();
+        if (live_point_io)
+            *live_point_io = live_point;
+    }
+
+    // Phase 2: detailed measurement windows in deterministic shuffled
+    // order over the unsampled span, with Welford's running moments.
+    std::vector<unsigned> order =
+        windowOrder(params.warmup_units, wl.total_units);
+    unsigned cap = static_cast<unsigned>(order.size());
+    if (params.max_windows)
+        cap = std::min(cap, params.max_windows);
+
+    SampledRun result;
+    result.warmup_units = params.warmup_units;
+    result.total_units = wl.total_units;
+    double mean = 0.0, m2 = 0.0;
+    unsigned n = 0;
+    while (n < cap) {
+        auto machine = factory();
+        machine->restoreCheckpoint(live_point);
+        double metric = wl.run_unit(*machine, order[n]);
+        ++n;
+        double delta = metric - mean;
+        mean += delta / static_cast<double>(n);
+        m2 += delta * (metric - mean);
+        if (n >= params.min_windows && n > 1 && mean != 0.0) {
+            double stddev =
+                std::sqrt(m2 / static_cast<double>(n - 1));
+            double rel_ci = params.z * stddev /
+                            std::sqrt(static_cast<double>(n)) /
+                            std::fabs(mean);
+            if (rel_ci <= params.target_rel_ci)
+                break;
+        }
+    }
+
+    result.mean = mean;
+    result.stddev =
+        n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+    result.rel_ci = (n > 0 && mean != 0.0)
+                        ? params.z * result.stddev /
+                              std::sqrt(static_cast<double>(n)) /
+                              std::fabs(mean)
+                        : 0.0;
+    result.windows = n;
+    result.speedup_factor =
+        static_cast<double>(wl.total_units) /
+        static_cast<double>(params.warmup_units + n);
+    return result;
+}
+
+} // namespace cedar::sample

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Sampled simulation over checkpoint live-points (SMARTS-style).
+ *
+ * A long workload is modelled as a sequence of repeating measurement
+ * units (e.g. one rank-64 update per unit). Detailed simulation of
+ * every unit is exact but slow; this subsystem instead:
+ *
+ *   1. runs `warmup_units` units in detail to reach a warmed state
+ *      (caches filled, reservation clocks realistic) and saves that
+ *      state as a checkpoint — the *live-point*;
+ *   2. for each measurement window, restores the live-point into a
+ *      fresh machine and runs exactly one unit in detail, recording
+ *      the unit's metric;
+ *   3. keeps adding windows (walking a deterministic permutation of
+ *      the remaining units) until the confidence interval of the
+ *      running mean is tighter than `target_rel_ci`, then reports the
+ *      mean as the estimate for the whole workload.
+ *
+ * Everything is deterministic: the window permutation is fixed by an
+ * Rng with a hard-coded seed, and each window starts from the same
+ * byte-identical live-point, so the estimate is reproducible to the
+ * last bit. The live-point can be handed back to the caller and
+ * reused across invocations (warm-checkpoint reuse in sweeps).
+ */
+
+#ifndef CEDARSIM_SAMPLE_SAMPLE_HH
+#define CEDARSIM_SAMPLE_SAMPLE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/cedar.hh"
+
+namespace cedar::sample {
+
+/** Builds a fresh machine for one detailed window. */
+using MachineFactory =
+    std::function<std::unique_ptr<machine::CedarMachine>()>;
+
+/** A workload expressed as repeating measurement units. */
+struct PhasedWorkload
+{
+    /** Total units the full workload would run. */
+    unsigned total_units = 0;
+
+    /**
+     * Run unit @p index on @p machine in detail and return the unit's
+     * metric (e.g. its MFLOPS). Must leave the machine quiescent
+     * (event queue drained) so a checkpoint may follow.
+     */
+    std::function<double(machine::CedarMachine &, unsigned)> run_unit;
+};
+
+/** Sampling-control knobs. */
+struct SampleParams
+{
+    /** Units simulated in detail before the live-point is saved. */
+    unsigned warmup_units = 2;
+    /** Windows always run before the CI stopping rule is consulted. */
+    unsigned min_windows = 4;
+    /** Hard cap on windows (0 = all remaining units). */
+    unsigned max_windows = 0;
+    /** Stop once z * stddev / sqrt(n) / mean falls at or below this. */
+    double target_rel_ci = 0.05;
+    /** Normal critical value for the interval (1.96 = 95%). */
+    double z = 1.96;
+};
+
+/** A detailed (exact) run of every unit. */
+struct FullRun
+{
+    std::vector<double> unit_metrics;
+    /** Arithmetic mean of unit_metrics. */
+    double mean = 0.0;
+};
+
+/** A confidence-interval-driven sampled run. */
+struct SampledRun
+{
+    /** The estimate: mean metric over the sampled windows. */
+    double mean = 0.0;
+    double stddev = 0.0;
+    /** Achieved z * stddev / sqrt(n) / |mean| at the stopping point. */
+    double rel_ci = 0.0;
+    /** Measurement windows actually simulated. */
+    unsigned windows = 0;
+    unsigned warmup_units = 0;
+    unsigned total_units = 0;
+    /** Detailed units avoided: total / (warmup + windows). */
+    double speedup_factor = 1.0;
+};
+
+/** Simulate every unit in detail on one machine (the reference). */
+FullRun runFull(const MachineFactory &factory, const PhasedWorkload &wl);
+
+/**
+ * Sampled estimate of the workload's mean unit metric.
+ *
+ * @param live_point_io optional live-point cache: when non-null and
+ *        non-empty, warm-up is skipped and the given snapshot is used
+ *        directly; when non-null and empty, the freshly saved
+ *        live-point is stored there for reuse.
+ */
+SampledRun runSampled(const MachineFactory &factory,
+                      const PhasedWorkload &wl, const SampleParams &params,
+                      std::string *live_point_io = nullptr);
+
+} // namespace cedar::sample
+
+#endif // CEDARSIM_SAMPLE_SAMPLE_HH

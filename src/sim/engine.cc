@@ -8,6 +8,7 @@
 #include <chrono>
 #include <utility>
 
+#include "checkpoint.hh"
 #include "error.hh"
 #include "trace.hh"
 
@@ -147,6 +148,39 @@ Tick
 Simulation::run()
 {
     return runUntil(max_tick);
+}
+
+void
+Simulation::saveState(CheckpointWriter &w) const
+{
+    if (!_heap.empty()) {
+        checkpointError("cedar.engine",
+                        "cannot snapshot with " +
+                            std::to_string(_heap.size()) +
+                            " events still queued; checkpoints are "
+                            "legal only at quiescent points");
+    }
+    auto &sec = w.section("cedar.engine");
+    sec.u64("now", _now);
+    sec.u64("next_seq", _next_seq);
+    sec.u64("events_executed", _events_executed);
+}
+
+void
+Simulation::restoreState(const CheckpointReader &r)
+{
+    if (!_heap.empty()) {
+        checkpointError("cedar.engine",
+                        "cannot restore into an engine with " +
+                            std::to_string(_heap.size()) +
+                            " events queued; deschedule periodic "
+                            "events first and re-arm them after");
+    }
+    const auto &sec = r.section("cedar.engine");
+    _now = sec.u64("now");
+    _next_seq = sec.u64("next_seq");
+    _events_executed = sec.u64("events_executed");
+    _stop_requested = false;
 }
 
 namespace {

@@ -28,6 +28,9 @@
 
 namespace cedar {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Callback type executed when a one-shot pooled event fires. */
 using EventFunc = std::function<void()>;
 
@@ -207,6 +210,23 @@ class Simulation
 
     /** The attached host-time profiler, or nullptr when disarmed. */
     HostProfiler *profiler() const { return _profiler.get(); }
+
+    /**
+     * Snapshot the engine clocks (tick, sequence counter, event total)
+     * into section "cedar.engine". Legal only at a quiescent point:
+     * raises a `checkpoint` SimError while events are still queued,
+     * because queued closures cannot be serialized.
+     */
+    void saveState(CheckpointWriter &w) const;
+
+    /**
+     * Restore the engine clocks. The queue must be empty (deschedule
+     * periodic events such as the telemetry sampler first and re-arm
+     * them afterwards). Restoring `next_seq` exactly is what makes a
+     * resumed run's same-tick tie-breaking — and hence the whole
+     * continuation — bit-identical to the uninterrupted run.
+     */
+    void restoreState(const CheckpointReader &r);
 
   private:
     friend class Event;

@@ -49,6 +49,7 @@ SimError::kindName(Kind kind)
       case Kind::retry_exhausted: return "retry-exhausted";
       case Kind::deadlock: return "deadlock";
       case Kind::livelock: return "livelock";
+      case Kind::checkpoint: return "checkpoint";
     }
     return "unknown";
 }

@@ -42,6 +42,9 @@ class SimError : public std::logic_error
         retry_exhausted, ///< a retry budget ran out (lock, retransmit)
         deadlock,        ///< watchdog: waiters remain but no events do
         livelock,        ///< watchdog: events run but nothing progresses
+        checkpoint,      ///< snapshot save/restore failed (corrupt,
+                         ///< truncated, version-skewed, or the machine
+                         ///< was not at a quiescent point)
     };
 
     SimError(Kind kind, std::string component, Tick tick,

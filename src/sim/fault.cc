@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "sim/checkpoint.hh"
 #include "sim/error.hh"
 #include "sim/logging.hh"
 
@@ -116,6 +117,43 @@ FaultInjector::registerStats(StatRegistry &reg)
     reg.addCounter(child("mem_double_bits"), _mem_double_bits);
     reg.addCounter(child("sync_timeouts"), _sync_timeouts);
     reg.addCounter(child("ce_dropouts"), _ce_dropouts);
+}
+
+void
+FaultInjector::saveState(CheckpointWriter &w) const
+{
+    auto &sec = w.section(name());
+    sec.str("spec", _spec.str());
+    sec.rng("net_rng", _net_rng);
+    sec.rng("mem_rng", _mem_rng);
+    sec.rng("sync_rng", _sync_rng);
+    sec.rng("ce_rng", _ce_rng);
+    sec.counter("net_corruptions", _net_corruptions);
+    sec.counter("mem_single_bits", _mem_single_bits);
+    sec.counter("mem_double_bits", _mem_double_bits);
+    sec.counter("sync_timeouts", _sync_timeouts);
+    sec.counter("ce_dropouts", _ce_dropouts);
+}
+
+void
+FaultInjector::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    const std::string &spec = sec.str("spec");
+    if (spec != _spec.str()) {
+        checkpointError(name(), "snapshot fault spec '" + spec +
+                                    "' does not match this injector's '" +
+                                    _spec.str() + "'");
+    }
+    sec.rng("net_rng", _net_rng);
+    sec.rng("mem_rng", _mem_rng);
+    sec.rng("sync_rng", _sync_rng);
+    sec.rng("ce_rng", _ce_rng);
+    sec.counter("net_corruptions", _net_corruptions);
+    sec.counter("mem_single_bits", _mem_single_bits);
+    sec.counter("mem_double_bits", _mem_double_bits);
+    sec.counter("sync_timeouts", _sync_timeouts);
+    sec.counter("ce_dropouts", _ce_dropouts);
 }
 
 } // namespace cedar

@@ -33,6 +33,9 @@
 
 namespace cedar {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /**
  * What faults to inject, and how often. Rates are per-event
  * probabilities: per packet traversal, per module access, per sync
@@ -168,6 +171,15 @@ class FaultInjector : public Named
 
     /** Register injected-fault counters under this component's name. */
     void registerStats(StatRegistry &reg);
+
+    /**
+     * Spec (canonical string), all four decision lanes, and the
+     * injection counters. Restore refuses a snapshot whose spec does
+     * not match this injector's — resuming under different fault rates
+     * would silently diverge from the original run.
+     */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(const CheckpointReader &r);
 
   private:
     FaultSpec _spec;

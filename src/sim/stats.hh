@@ -29,6 +29,9 @@ class Counter
     void reset() { _value = 0; }
     std::uint64_t value() const { return _value; }
 
+    /** Restore a checkpointed value bit-for-bit. */
+    void restore(std::uint64_t value) { _value = value; }
+
   private:
     std::uint64_t _value = 0;
 };
@@ -76,6 +79,35 @@ class SampleStat
     }
 
     double stddev() const { return std::sqrt(variance()); }
+
+    /**
+     * The raw accumulator words, exactly as Welford's recurrence left
+     * them (mean/min/max here are NOT zero-masked for count == 0).
+     * Restoring this state reproduces the accumulator bit-for-bit, so
+     * a checkpointed run's later samples fold in identically.
+     */
+    struct Raw
+    {
+        std::uint64_t count;
+        double sum, mean, m2, min, max;
+    };
+
+    Raw
+    raw() const
+    {
+        return {_count, _sum, _mean, _m2, _min, _max};
+    }
+
+    void
+    restore(const Raw &r)
+    {
+        _count = r.count;
+        _sum = r.sum;
+        _mean = r.mean;
+        _m2 = r.m2;
+        _min = r.min;
+        _max = r.max;
+    }
 
   private:
     std::uint64_t _count = 0;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace cedar {
@@ -366,6 +367,66 @@ TelemetrySampler::statusLine() const
     if (!_hb_status.empty())
         return _hb_status;
     return "[telemetry " + _name + "] no records yet";
+}
+
+void
+TelemetrySampler::saveState(CheckpointWriter &w) const
+{
+    if (_event.scheduled()) {
+        checkpointError(_name,
+                        "sampler event still scheduled; checkpoints "
+                        "are legal only at quiescent points");
+    }
+    auto &sec = w.section(_name + ".telemetry");
+    sec.u64("interval", _params.interval);
+    sec.str("filter", _params.filter);
+    sec.u64("seq", _seq);
+    sec.u64("records", _records);
+    sec.u64("last_tick", _last_tick);
+    sec.u64("last_events", _last_events);
+    sec.u64("started", _started ? 1 : 0);
+    sec.u64("finished", _finished ? 1 : 0);
+    sec.u64("prev_count", _prev.size());
+    std::size_t i = 0;
+    for (const auto &[key, value] : _prev) {
+        std::string k = "prev" + std::to_string(i++);
+        sec.str(k + ".key", key);
+        sec.f64(k + ".value", value);
+    }
+}
+
+void
+TelemetrySampler::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(_name + ".telemetry");
+    if (sec.u64("interval") != _params.interval ||
+        sec.str("filter") != _params.filter) {
+        checkpointError(_name,
+                        "snapshot telemetry parameters (interval " +
+                            std::to_string(sec.u64("interval")) +
+                            ", filter '" + sec.str("filter") +
+                            "') do not match this sampler's (interval " +
+                            std::to_string(_params.interval) +
+                            ", filter '" + _params.filter + "')");
+    }
+    if (_event.scheduled())
+        _sim.deschedule(_event);
+    _seq = sec.u64("seq");
+    _records = sec.u64("records");
+    _last_tick = sec.u64("last_tick");
+    _last_events = sec.u64("last_events");
+    _started = sec.u64("started") != 0;
+    _finished = sec.u64("finished") != 0;
+    _prev.clear();
+    std::uint64_t count = sec.u64("prev_count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string k = "prev" + std::to_string(i);
+        _prev[sec.str(k + ".key")] = sec.f64(k + ".value");
+    }
+    // Host-clock heartbeat state restarts; it never enters records.
+    _hb_last_ns = hostNowNs();
+    _hb_last_tick = _last_tick;
+    _hb_status.clear();
 }
 
 } // namespace cedar

@@ -174,6 +174,17 @@ class TelemetrySampler
      */
     std::string statusLine() const;
 
+    /**
+     * Interval state: previous snapshot, sequence number, window
+     * clocks. A quiescent sampler has no scheduled event (it
+     * self-finishes at drain); save refuses otherwise. Restore
+     * deschedules any freshly-armed event first, so it is safe to
+     * call before Simulation::restoreState — call resume() after the
+     * full machine restore to re-arm sampling.
+     */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(const CheckpointReader &r);
+
   private:
     void fire();
     void emitRecord(const char *kind, bool final_record);

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace cedar {
@@ -111,6 +112,34 @@ Watchdog::registerStats(StatRegistry &reg)
     reg.addScalar(child("pending_waits"), [this] {
         return static_cast<double>(_waits.size());
     });
+}
+
+void
+Watchdog::saveState(CheckpointWriter &w) const
+{
+    if (!_waits.empty()) {
+        checkpointError(name(),
+                        std::to_string(_waits.size()) +
+                            " waits outstanding; a machine with blocked "
+                            "components is not at a quiescent point");
+    }
+    auto &sec = w.section(name());
+    sec.u64("last_progress", _last_progress);
+    sec.u64("next_token", _next_token);
+    sec.counter("progress_marks", _progress_marks);
+    sec.counter("waits_begun", _waits_begun);
+}
+
+void
+Watchdog::restoreState(const CheckpointReader &r)
+{
+    const auto &sec = r.section(name());
+    _last_progress = sec.u64("last_progress");
+    _next_token = static_cast<unsigned>(sec.u64("next_token"));
+    sec.counter("progress_marks", _progress_marks);
+    sec.counter("waits_begun", _waits_begun);
+    _waits.clear();
+    _events_since_check = 0;
 }
 
 } // namespace cedar

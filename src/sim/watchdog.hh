@@ -41,6 +41,9 @@
 
 namespace cedar {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Tuning knobs for the liveness watchdog. */
 struct WatchdogParams
 {
@@ -118,6 +121,14 @@ class Watchdog : public Named
     std::uint64_t progressMarks() const { return _progress_marks.value(); }
 
     void registerStats(StatRegistry &reg);
+
+    /**
+     * Progress clock, token counter, and counters. Requires no
+     * outstanding waits (a quiescent machine has none — outstanding
+     * waits at a drained queue are a deadlock, not a checkpoint).
+     */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(const CheckpointReader &r);
 
   private:
     [[noreturn]] void raise(SimError::Kind kind, Tick now,

@@ -31,6 +31,102 @@ appendf(std::string &out, const char *fmt, Args... args)
     out.append(buf.data(), std::size_t(n));
 }
 
+/** <dir>/<scenario>.metrics.json — the sweep's resume cache entry. */
+std::string
+metricsPath(const std::string &dir, const std::string &scenario)
+{
+    return dir + "/" + scenario + ".metrics.json";
+}
+
+Json
+metricsToJson(const Metrics &m)
+{
+    Json values = Json::array();
+    for (const auto &v : m.values) {
+        Json vj = Json::object();
+        vj.set("key", Json::of(v.key));
+        vj.set("value", Json::of(v.value));
+        vj.set("checked", Json::of(v.checked));
+        if (v.checked) {
+            if (v.spec.paper == v.spec.paper)
+                vj.set("paper", Json::of(v.spec.paper));
+            vj.set("paper_tol", Json::of(v.spec.paper_tol));
+            vj.set("drift", Json::of(v.spec.drift));
+            vj.set("note", Json::of(v.spec.note));
+        }
+        values.push(std::move(vj));
+    }
+    Json notes = Json::array();
+    for (const auto &[k, v] : m.notes) {
+        Json nj = Json::object();
+        nj.set("key", Json::of(k));
+        nj.set("value", Json::of(v));
+        notes.push(std::move(nj));
+    }
+    Json top = Json::object();
+    top.set("v", Json::of(1.0));
+    top.set("values", std::move(values));
+    top.set("notes", std::move(notes));
+    top.set("telemetry", Json::of(m.telemetry));
+    return top;
+}
+
+/** @throws std::runtime_error on schema mismatch */
+Metrics
+metricsFromJson(const Json &j)
+{
+    Metrics m;
+    const Json *values = j.isObject() ? j.get("values") : nullptr;
+    if (!values || !values->isArray())
+        throw std::runtime_error("metrics cache: no 'values' array");
+    for (std::size_t i = 0; i < values->size(); ++i) {
+        const Json &vj = values->at(i);
+        MetricValue v;
+        v.key = vj.get("key")->asString();
+        v.value = vj.get("value")->asNumber();
+        v.checked = vj.get("checked")->asBool();
+        if (v.checked) {
+            if (const Json *p = vj.get("paper"))
+                v.spec.paper = p->asNumber();
+            v.spec.paper_tol = vj.get("paper_tol")->asNumber();
+            v.spec.drift = vj.get("drift")->asNumber();
+            v.spec.note = vj.get("note")->asString();
+        }
+        m.values.push_back(std::move(v));
+    }
+    if (const Json *notes = j.get("notes"); notes && notes->isArray()) {
+        for (std::size_t i = 0; i < notes->size(); ++i) {
+            const Json &nj = notes->at(i);
+            m.notes.emplace_back(nj.get("key")->asString(),
+                                 nj.get("value")->asString());
+        }
+    }
+    if (const Json *t = j.get("telemetry"); t && t->isString())
+        m.telemetry = t->asString();
+    return m;
+}
+
+/** Load one cached Metrics; empty optional when absent/unreadable. */
+std::optional<Metrics>
+loadCachedMetrics(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    try {
+        return metricsFromJson(Json::parse(text));
+    } catch (const std::exception &) {
+        // A torn/stale cache entry just means the scenario re-runs.
+        return std::nullopt;
+    }
+}
+
 } // namespace
 
 std::string
@@ -47,6 +143,11 @@ ValidationReport::logText() const
             appendf(text, "wrote %s\n", out.golden_path.c_str());
             continue;
         }
+        if (out.sampled) {
+            appendf(text, "est  %-22s %3zu metric(s), not golden-checked\n",
+                    out.name.c_str(), out.metrics.values.size());
+            continue;
+        }
         if (out.golden_error) {
             appendf(text, "FAIL %s: %s\n", out.name.c_str(),
                     out.error.c_str());
@@ -60,8 +161,8 @@ ValidationReport::logText() const
                         unsigned(out.result.unknown_cells.size()),
                     checked, describeFailures(out.result).c_str());
         } else {
-            appendf(text, "ok   %-22s %3u cells\n", out.name.c_str(),
-                    checked);
+            appendf(text, "ok   %-22s %3u cells%s\n", out.name.c_str(),
+                    checked, out.resumed ? " (resumed)" : "");
         }
     }
     if (ran == 0) {
@@ -79,6 +180,18 @@ ValidationReport::jsonReport() const
     for (const auto &out : outcomes) {
         if (update || out.threw || out.golden_error)
             continue;
+        if (out.sampled) {
+            // Estimates carry raw metrics, no golden verdicts.
+            Json sj = Json::object();
+            sj.set("scenario", Json::of(out.name));
+            sj.set("sampled", Json::of(true));
+            Json vals = Json::object();
+            for (const auto &v : out.metrics.values)
+                vals.set(v.key, Json::of(v.value));
+            sj.set("metrics", std::move(vals));
+            results.push(std::move(sj));
+            continue;
+        }
         Json sj = Json::object();
         sj.set("scenario", Json::of(out.name));
         sj.set("ok", Json::of(out.result.ok()));
@@ -162,21 +275,35 @@ runValidation(const ValidationOptions &opts)
             // and the returned outcome (DESIGN.md §10).
             ScenarioOutcome out;
             out.name = s->name;
-            ScenarioOptions sopts;
-            sopts.config_hook = opts.config_hook;
-            sopts.jobs = point_jobs;
-            if (!opts.telemetry_dir.empty())
-                sopts.telemetry_interval = opts.telemetry_interval;
-            try {
-                out.metrics = runScenario(*s, sopts);
-            } catch (const std::exception &e) {
-                out.threw = true;
-                out.error = e.what();
-                return out;
+            out.sampled = opts.sample;
+            // Resume: a cached metrics file stands in for the run. The
+            // decision depends only on the filesystem at submission
+            // time, so report bytes stay jobs-independent.
+            if (opts.resume && !opts.checkpoint_dir.empty()) {
+                if (auto cached = loadCachedMetrics(
+                        metricsPath(opts.checkpoint_dir, s->name))) {
+                    out.metrics = std::move(*cached);
+                    out.resumed = true;
+                }
+            }
+            if (!out.resumed) {
+                ScenarioOptions sopts;
+                sopts.config_hook = opts.config_hook;
+                sopts.jobs = point_jobs;
+                sopts.sample = opts.sample;
+                if (!opts.telemetry_dir.empty())
+                    sopts.telemetry_interval = opts.telemetry_interval;
+                try {
+                    out.metrics = runScenario(*s, sopts);
+                } catch (const std::exception &e) {
+                    out.threw = true;
+                    out.error = e.what();
+                    return out;
+                }
             }
             out.golden_path = goldenPath(golden_dir, s->name);
-            if (opts.update)
-                return out; // golden written in the serial reduce
+            if (opts.update || out.sampled)
+                return out; // golden written/skipped in the reduce
             try {
                 out.result = checkAgainstGolden(loadGolden(out.golden_path),
                                                 out.metrics);
@@ -202,6 +329,21 @@ runValidation(const ValidationOptions &opts)
         if (opts.update && !out.threw) {
             const Scenario *s = findScenario(out.name);
             saveGolden(out.golden_path, goldenFromRun(*s, out.metrics));
+        }
+        // The resume cache is written here in the serial reduce, after
+        // a successful fresh run (never for resumed or thrown ones, so
+        // a stale cache can't rewrite itself).
+        if (!opts.checkpoint_dir.empty() && !out.threw && !out.resumed) {
+            std::filesystem::create_directories(opts.checkpoint_dir);
+            std::string path = metricsPath(opts.checkpoint_dir, out.name);
+            std::string text = metricsToJson(out.metrics).dump(2) + "\n";
+            if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+                std::fwrite(text.data(), 1, text.size(), f);
+                std::fclose(f);
+            } else {
+                std::fprintf(stderr, "checkpoint-dir: cannot write %s\n",
+                             path.c_str());
+            }
         }
         // Telemetry files are written here in the serial reduce, never
         // from workers, so their contents and creation order match the

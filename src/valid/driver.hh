@@ -59,6 +59,24 @@ struct ValidationOptions
     std::string telemetry_dir;
     /** Sampling period for --telemetry-dir runs, in ticks. */
     Tick telemetry_interval = 100'000;
+    /**
+     * When nonempty, every completed scenario's metrics are written to
+     * <dir>/<scenario>.metrics.json from the serial reduce — the
+     * sweep's resumable checkpoint. With `resume` additionally set,
+     * scenarios whose metrics file already exists are not re-run:
+     * their cached metrics are loaded and golden-checked exactly as a
+     * fresh run's would be, so an interrupted validation sweep picks
+     * up where it left off.
+     */
+    std::string checkpoint_dir;
+    /** Reuse cached metrics from checkpoint_dir instead of re-running. */
+    bool resume = false;
+    /**
+     * Run scenarios in sampled-simulation mode (ScenarioOptions::
+     * sample). Sampled estimates are reported but never golden-checked
+     * (and never frozen): the golden files pin the full-detail path.
+     */
+    bool sample = false;
 };
 
 /** What happened to one scenario, in submission order. */
@@ -75,8 +93,18 @@ struct ScenarioOutcome
     /** Path written in update mode. */
     std::string golden_path;
     Metrics metrics;
+    /** Metrics came from the checkpoint-dir cache, not a fresh run. */
+    bool resumed = false;
+    /** Run was a sampled estimate; golden checking was skipped. */
+    bool sampled = false;
 
-    bool failed() const { return threw || golden_error || !result.ok(); }
+    bool
+    failed() const
+    {
+        if (threw || golden_error)
+            return true;
+        return sampled ? false : !result.ok();
+    }
 };
 
 /** The full result of one validation pass. */

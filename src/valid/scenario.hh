@@ -118,6 +118,16 @@ struct ScenarioOptions
      * serial (jobs() returns 1) so records land in point order.
      */
     Tick telemetry_interval = 0;
+    /**
+     * Sampled-simulation mode (`cedar_validate --sample`): scenarios
+     * with a phased workload estimate it through the live-point
+     * sampler (src/sample) instead of running every unit in detail.
+     * Estimates are not golden-checked — the driver reports their
+     * metrics without consulting the golden file — so the flag is an
+     * exploration/speed mode; the canonical sampled-agreement golden
+     * (sampled_rank64) stays pinned by the default path.
+     */
+    bool sample = false;
 };
 
 /**
@@ -157,6 +167,9 @@ class ScenarioContext
 
     /** True when interval telemetry is being captured. */
     bool telemetryEnabled() const { return _opts.telemetry_interval > 0; }
+
+    /** True when the run should estimate via sampled simulation. */
+    bool sampleMode() const { return _opts.sample; }
 
     /** The standard machine configuration with any perturbation. */
     machine::CedarConfig

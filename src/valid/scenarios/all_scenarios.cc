@@ -24,6 +24,7 @@ void registerVmStudy();
 void registerSec33Restructuring();
 void registerAblationRuntime();
 void registerAblationNetwork();
+void registerSampledRank64();
 
 void
 registerAllScenarios()
@@ -42,6 +43,7 @@ registerAllScenarios()
     registerSec33Restructuring();
     registerAblationRuntime();
     registerAblationNetwork();
+    registerSampledRank64();
 }
 
 } // namespace cedar::valid::detail

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Diff two Cedar checkpoint snapshots section by section.
+
+When a restored run diverges from its uninterrupted twin, the fastest
+way to localize the bug is to save a checkpoint from both runs at the
+same quiescent point and diff them: the first divergent section names
+the component whose state was not serialized faithfully, and the field
+listing shows exactly which value drifted.
+
+    $ tools/checkpoint_diff.py a.ckpt b.ckpt
+    tick: both at 542477
+    DIVERGED cedar.cluster0.ce3.pfu   (first divergent section)
+      requests: 10312 != 10315
+    ...
+    2 of 119 sections differ; first divergence: cedar.cluster0.ce3.pfu
+
+Exit status: 0 identical, 1 differences found, 2 unreadable input.
+
+The format is the one sim/checkpoint.cc writes (schema v1):
+magic "CEDARCKP", u32 schema, u64 tick, u32 section count, then per
+section u16 name-len + name + u32 body CRC + u64 body-len + tagged
+fields, closed by a whole-file CRC-32. All integers little-endian.
+"""
+
+import argparse
+import struct
+import sys
+import zlib
+
+MAGIC = b"CEDARCKP"
+SCHEMA = 1
+
+TAG_U64, TAG_I64, TAG_F64, TAG_STR, TAG_BYTES = 1, 2, 3, 4, 5
+
+
+class ParseError(Exception):
+    pass
+
+
+class Cursor:
+    def __init__(self, data, context):
+        self.data = data
+        self.off = 0
+        self.context = context
+
+    def take(self, n, what):
+        if self.off + n > len(self.data):
+            raise ParseError(
+                f"{self.context}: truncated reading {what} "
+                f"(need {n} bytes at offset {self.off}, "
+                f"have {len(self.data) - self.off})")
+        out = self.data[self.off:self.off + n]
+        self.off += n
+        return out
+
+    def u8(self, what):
+        return self.take(1, what)[0]
+
+    def u16(self, what):
+        return struct.unpack("<H", self.take(2, what))[0]
+
+    def u32(self, what):
+        return struct.unpack("<I", self.take(4, what))[0]
+
+    def u64(self, what):
+        return struct.unpack("<Q", self.take(8, what))[0]
+
+
+def parse_fields(body, section):
+    cur = Cursor(body, f"section '{section}'")
+    fields = {}
+    order = []
+    while cur.off < len(body):
+        tag = cur.u8("field tag")
+        key = cur.take(cur.u16("key length"), "field key").decode(
+            "utf-8", "replace")
+        if tag in (TAG_U64, TAG_I64, TAG_F64):
+            word = cur.u64(f"value of '{key}'")
+            if tag == TAG_U64:
+                value = word
+            elif tag == TAG_I64:
+                value = struct.unpack("<q", struct.pack("<Q", word))[0]
+            else:
+                value = struct.unpack("<d", struct.pack("<Q", word))[0]
+        elif tag in (TAG_STR, TAG_BYTES):
+            value = cur.take(cur.u32(f"length of '{key}'"),
+                             f"blob '{key}'")
+            if tag == TAG_STR:
+                value = value.decode("utf-8", "replace")
+        else:
+            raise ParseError(f"section '{section}': unknown field tag "
+                             f"{tag} at offset {cur.off - 1}")
+        fields[key] = (tag, value)
+        order.append(key)
+    return fields, order
+
+
+def parse_snapshot(path):
+    with open(path, "rb") as f:
+        data = f.read()
+    cur = Cursor(data, path)
+    if cur.take(len(MAGIC), "magic") != MAGIC:
+        raise ParseError(f"{path}: bad magic (not a Cedar snapshot)")
+    stored_crc = struct.unpack("<I", data[-4:])[0]
+    computed = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+    if stored_crc != computed:
+        raise ParseError(f"{path}: file CRC mismatch "
+                         f"(stored {stored_crc:#010x}, "
+                         f"computed {computed:#010x}) — corrupt or "
+                         f"truncated snapshot")
+    schema = cur.u32("schema")
+    if schema != SCHEMA:
+        raise ParseError(f"{path}: schema v{schema}, this tool reads "
+                         f"v{SCHEMA}")
+    tick = cur.u64("tick")
+    count = cur.u32("section count")
+    sections = {}
+    order = []
+    for _ in range(count):
+        name = cur.take(cur.u16("section name length"),
+                        "section name").decode("utf-8", "replace")
+        body_crc = cur.u32(f"body CRC of '{name}'")
+        body = cur.take(cur.u64(f"body length of '{name}'"),
+                        f"body of '{name}'")
+        if (zlib.crc32(body) & 0xFFFFFFFF) != body_crc:
+            raise ParseError(f"{path}: section '{name}' body CRC "
+                             f"mismatch")
+        sections[name] = parse_fields(body, name)
+        order.append(name)
+    return {"tick": tick, "sections": sections, "order": order}
+
+
+def fmt(tagged):
+    tag, value = tagged
+    if tag == TAG_F64:
+        return repr(value)
+    if tag == TAG_STR:
+        return repr(value)
+    if tag == TAG_BYTES:
+        crc = zlib.crc32(value) & 0xFFFFFFFF
+        return f"<{len(value)} bytes, crc {crc:#010x}>"
+    return str(value)
+
+
+def diff_section(name, a, b, max_fields):
+    a_fields, a_order = a
+    b_fields, _ = b
+    lines = []
+    for key in a_order:
+        if key not in b_fields:
+            lines.append(f"  {key}: only in A ({fmt(a_fields[key])})")
+        elif a_fields[key] != b_fields[key]:
+            lines.append(f"  {key}: {fmt(a_fields[key])} != "
+                         f"{fmt(b_fields[key])}")
+    for key in b_fields:
+        if key not in a_fields:
+            lines.append(f"  {key}: only in B ({fmt(b_fields[key])})")
+    if max_fields and len(lines) > max_fields:
+        lines = lines[:max_fields] + [
+            f"  ... {len(lines) - max_fields} more differing field(s)"]
+    return lines
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two Cedar checkpoint snapshots "
+                    "section by section")
+    ap.add_argument("a", help="first snapshot (.ckpt)")
+    ap.add_argument("b", help="second snapshot (.ckpt)")
+    ap.add_argument("--max-fields", type=int, default=8,
+                    help="differing fields to list per section "
+                         "(0 = all; default 8)")
+    args = ap.parse_args()
+
+    try:
+        snap_a = parse_snapshot(args.a)
+        snap_b = parse_snapshot(args.b)
+    except (OSError, ParseError) as e:
+        print(f"checkpoint_diff: {e}", file=sys.stderr)
+        return 2
+
+    differences = 0
+    first_divergence = None
+
+    if snap_a["tick"] == snap_b["tick"]:
+        print(f"tick: both at {snap_a['tick']}")
+    else:
+        differences += 1
+        first_divergence = "<header>"
+        print(f"DIVERGED tick: {snap_a['tick']} != {snap_b['tick']}")
+
+    only_a = [s for s in snap_a["order"] if s not in snap_b["sections"]]
+    only_b = [s for s in snap_b["order"] if s not in snap_a["sections"]]
+    for name in only_a:
+        differences += 1
+        first_divergence = first_divergence or name
+        print(f"DIVERGED {name}: only in A")
+    for name in only_b:
+        differences += 1
+        first_divergence = first_divergence or name
+        print(f"DIVERGED {name}: only in B")
+
+    shared = [s for s in snap_a["order"] if s in snap_b["sections"]]
+    for name in shared:
+        lines = diff_section(name, snap_a["sections"][name],
+                             snap_b["sections"][name], args.max_fields)
+        if lines:
+            differences += 1
+            suffix = ""
+            if first_divergence is None:
+                first_divergence = name
+                suffix = "   (first divergent section)"
+            print(f"DIVERGED {name}{suffix}")
+            for line in lines:
+                print(line)
+
+    total = len(set(snap_a["order"]) | set(snap_b["order"]))
+    if differences == 0:
+        print(f"identical: {total} sections, tick {snap_a['tick']}")
+        return 0
+    print(f"{differences} of {total} section(s) differ; "
+          f"first divergence: {first_divergence}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
