@@ -96,6 +96,30 @@ allProbes(unsigned sweep_jobs)
                           return runOnce<PooledActor>(sim, g_stress_events)
                               .rate();
                       }});
+    // Parallel-engine scaling on the Cedar-shaped partition workload:
+    // best threads>1 wall clock against the identical threads=1
+    // protocol. Checksums must agree — the probe dies rather than
+    // record a fast-but-wrong engine. The value is bounded above by
+    // the host's core count (1.0x on a single-core runner); the
+    // trajectory gate only trips on regressions, so recording a
+    // modest baseline is safe on any host.
+    probes.push_back(
+        {"engine.pdes_speedup", true, 2, [] {
+             PdesResult serial = runPdes(1);
+             double best = 0.0;
+             for (unsigned threads : {2u, 4u}) {
+                 PdesResult r = runPdes(threads);
+                 if (r.checksum != serial.checksum) {
+                     std::fprintf(stderr,
+                                  "trajectory: FATAL: pdes checksum "
+                                  "diverged at %u threads\n",
+                                  threads);
+                     std::exit(1);
+                 }
+                 best = std::max(best, serial.seconds / r.seconds);
+             }
+             return best;
+         }});
     probes.push_back({"valid_fast.seconds", false, 3, [] {
                           return timedSeconds([] {
                               valid::ValidationOptions vopts;

@@ -10,6 +10,7 @@
 
 #include "checkpoint.hh"
 #include "error.hh"
+#include "pdes.hh"
 #include "trace.hh"
 
 namespace cedar {
@@ -151,6 +152,12 @@ Simulation::run()
 }
 
 void
+Simulation::coordinatorStop()
+{
+    _coordinator->requestStop();
+}
+
+void
 Simulation::saveState(CheckpointWriter &w) const
 {
     if (!_heap.empty()) {
@@ -215,6 +222,16 @@ struct HostTimeScope
 Tick
 Simulation::runUntil(Tick limit)
 {
+    if (_coordinator) {
+        _coordinator->runUntil(limit);
+        return _now;
+    }
+    return runLocal(limit);
+}
+
+Tick
+Simulation::runLocal(Tick limit, bool drain_hook)
+{
     _stop_requested = false;
     HostTimeScope host_time(_host_ns, s_global_host_ns);
     std::uint64_t events_at_entry = _events_executed;
@@ -257,7 +274,7 @@ Simulation::runUntil(Tick limit)
         if (_watchdog)
             _watchdog->onEvent(_now);
     }
-    if (_watchdog && _heap.empty() && !_stop_requested)
+    if (drain_hook && _watchdog && _heap.empty() && !_stop_requested)
         _watchdog->onDrain(_now);
     s_global_events.fetch_add(_events_executed - events_at_entry,
                               std::memory_order_relaxed);

@@ -61,6 +61,11 @@ usage(const char *argv0, int code)
         "metrics instead of re-running completed scenarios\n"
         "  --sample             estimate phased scenarios via the "
         "live-point sampler (reported, not golden-checked)\n"
+        "  --engine-threads N   run every scenario's machine under the "
+        "parallel engine with N window workers (0: classic serial "
+        "engine; results are bit-identical for any N)\n"
+        "  --engine-partition-map NAME  logical-process map for the "
+        "parallel engine: cluster (default) or coarse\n"
         "  --perturb KEY=VALUE  perturb the machine config "
         "(repeatable); e.g. gm.module_conflict_extra=3\n",
         argv0);
@@ -180,6 +185,8 @@ main(int argc, char **argv)
     bool list = false, json = false;
     ValidationOptions vopts;
     std::vector<Perturbation> perturbations;
+    unsigned engine_threads = 0;
+    std::string engine_map;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -217,6 +224,25 @@ main(int argc, char **argv)
             vopts.resume = true;
         } else if (arg == "--sample") {
             vopts.sample = true;
+        } else if (arg == "--engine-threads") {
+            const char *v = next("a thread count");
+            char *end = nullptr;
+            long t = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || t < 0 || t > 256) {
+                std::fprintf(stderr, "--engine-threads wants a count in "
+                                     "[0, 256], got '%s'\n",
+                             v);
+                return 2;
+            }
+            engine_threads = unsigned(t);
+        } else if (arg == "--engine-partition-map") {
+            engine_map = next("cluster or coarse");
+            if (engine_map != "cluster" && engine_map != "coarse") {
+                std::fprintf(stderr, "--engine-partition-map wants "
+                                     "'cluster' or 'coarse', got '%s'\n",
+                             engine_map.c_str());
+                return 2;
+            }
         } else if (arg == "--telemetry-interval") {
             const char *v = next("a tick count");
             char *end = nullptr;
@@ -317,6 +343,21 @@ main(int argc, char **argv)
                 for (const auto &k : knobs())
                     if (p.key == k.key)
                         k.set(cfg, p.value);
+        };
+    }
+    if (engine_threads > 0 || !engine_map.empty()) {
+        // Compose onto any perturbation hook: every scenario machine is
+        // then built under the chosen engine. The goldens do not change
+        // — the parallel engine is bit-identical by contract, and CI
+        // diffs full reports across --engine-threads values to prove it.
+        auto prev = vopts.config_hook;
+        vopts.config_hook = [prev, engine_threads,
+                             engine_map](machine::CedarConfig &cfg) {
+            if (prev)
+                prev(cfg);
+            cfg.engine_threads = engine_threads;
+            if (!engine_map.empty())
+                cfg.engine_partition_map = engine_map;
         };
     }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/cedar.hh"
+#include "fuzz_schedule.hh"
 #include "sim/random.hh"
 
 using namespace cedar;
@@ -41,47 +42,29 @@ struct QuietEnv : public ::testing::Environment
 const auto *quiet_env =
     ::testing::AddGlobalTestEnvironment(new QuietEnv);
 
-constexpr EventPriority all_priorities[] = {
-    EventPriority::memory_response, EventPriority::network,
-    EventPriority::normal,          EventPriority::ce_progress,
-    EventPriority::stats,
-};
+// The corpus generator and serial-reference runner live in
+// tests/fuzz_schedule.hh now, shared with the parallel-engine battery
+// (tests/test_pdes.cc) so both engines face the same inputs.
+using test::fuzz::Firing;
+constexpr auto &all_priorities = test::fuzz::fuzz_priorities;
 
-/** One observed firing: (tick, priority, schedule-order index). */
-struct Firing
-{
-    Tick when;
-    int priority;
-    unsigned schedule_index;
-};
-
-/**
- * Schedule @p n random one-shot callbacks (ticks in [0, horizon),
- * priorities drawn from every class), run to completion, and return
- * the observed firing order.
- */
 std::vector<Firing>
 runRandomSchedule(std::uint64_t seed, unsigned n, Tick horizon)
 {
-    Rng rng(seed);
-    Simulation sim;
-    std::vector<Firing> fired;
-    fired.reserve(n);
-    for (unsigned i = 0; i < n; ++i) {
-        Tick when = static_cast<Tick>(rng.below(horizon));
-        EventPriority prio = all_priorities[rng.below(5)];
-        sim.schedule(when,
-                     [&fired, &sim, when, prio, i] {
-                         fired.push_back(
-                             {sim.curTick(),
-                              static_cast<int>(prio), i});
-                         // The engine must fire us exactly at our tick.
-                         EXPECT_EQ(sim.curTick(), when);
-                     },
-                     prio);
-    }
-    sim.run();
+    auto fired = test::fuzz::runFlatSerial(seed, n, horizon);
     EXPECT_EQ(fired.size(), n);
+    // The engine must fire every event exactly at its corpus tick,
+    // with its corpus priority.
+    std::vector<std::pair<Tick, int>> expected(n);
+    test::fuzz::buildFlatCorpus(
+        seed, n, horizon,
+        [&expected](unsigned i, Tick when, EventPriority prio) {
+            expected[i] = {when, static_cast<int>(prio)};
+        });
+    for (const auto &f : fired) {
+        EXPECT_EQ(f.when, expected[f.index].first);
+        EXPECT_EQ(f.priority, expected[f.index].second);
+    }
     return fired;
 }
 
@@ -99,8 +82,7 @@ TEST(EngineProperty, RandomScheduleFiresInWhenPrioritySeqOrder)
         // scheduled up front the contract is exactly a stable sort of
         // the schedule order by (when, priority).
         auto key = [](const Firing &f) {
-            return std::make_tuple(f.when, f.priority,
-                                   f.schedule_index);
+            return std::make_tuple(f.when, f.priority, f.index);
         };
         for (std::size_t i = 1; i < fired.size(); ++i)
             EXPECT_LT(key(fired[i - 1]), key(fired[i]))
@@ -117,7 +99,36 @@ TEST(EngineProperty, SameSeedSameFiringSequence)
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].when, b[i].when);
         EXPECT_EQ(a[i].priority, b[i].priority);
-        EXPECT_EQ(a[i].schedule_index, b[i].schedule_index);
+        EXPECT_EQ(a[i].index, b[i].index);
+    }
+}
+
+TEST(EngineProperty, SameCorpusSameFiringsOnEitherEngine)
+{
+    // The corpus is engine-agnostic: spread over coordinator
+    // partitions, every firing keeps its (tick, priority, identity).
+    // The full parallel-engine battery lives in test_pdes.cc; this
+    // pins the property-suite contract from the serial side.
+    // Partition tags differ by construction (serial tags all 0), so
+    // order by (when, priority, index) only.
+    auto sortByIdentity = [](std::vector<test::fuzz::Firing> v) {
+        std::sort(v.begin(), v.end(),
+                  [](const test::fuzz::Firing &a,
+                     const test::fuzz::Firing &b) {
+                      return std::make_tuple(a.when, a.priority, a.index) <
+                             std::make_tuple(b.when, b.priority, b.index);
+                  });
+        return v;
+    };
+    auto serial = sortByIdentity(
+        test::fuzz::canonical({runRandomSchedule(7, 400, 150)}));
+    auto part = sortByIdentity(test::fuzz::canonical(
+        test::fuzz::runFlatPartitioned(7, 400, 150, 4, 2)));
+    ASSERT_EQ(serial.size(), part.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].when, part[i].when);
+        EXPECT_EQ(serial[i].priority, part[i].priority);
+        EXPECT_EQ(serial[i].index, part[i].index);
     }
 }
 

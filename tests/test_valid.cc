@@ -13,6 +13,7 @@
 #include <stdexcept>
 
 #include "core/cedar.hh"
+#include "valid/driver.hh"
 #include "valid/golden.hh"
 #include "valid/json.hh"
 #include "valid/scenario.hh"
@@ -351,6 +352,55 @@ TEST(ScenarioContext, ConfigHookReachesStandardAndCustomConfigs)
     EXPECT_EQ(custom.num_clusters, 2u);
     EXPECT_EQ(custom.gm.module_conflict_extra,
               base.gm.module_conflict_extra + 3);
+}
+
+// ---------------------------------------------------------------------
+// Parallel engine: report byte-identity across engine configurations
+// ---------------------------------------------------------------------
+
+TEST(EngineIdentity, ReportBytesIdenticalAcrossEngineConfigs)
+{
+    // The parallel engine's contract at the validation layer: the
+    // rendered report — log text and JSON — is byte-identical whether
+    // scenarios run on the serial engine (engine_threads = 0) or the
+    // windowed coordinator at any thread count or partition map. This
+    // is the in-process form of the CI `cmp` step on cedar_validate
+    // --engine-threads output.
+    struct EngineConfig
+    {
+        unsigned threads;
+        const char *map;
+    };
+    const EngineConfig engines[] = {
+        {0, "cluster"}, {1, "cluster"}, {4, "cluster"}, {2, "coarse"},
+    };
+
+    auto runWith = [](const EngineConfig &ec) {
+        ValidationOptions opts;
+        opts.filters = {"fig12_topology", "table3_perfect",
+                        "fig3_scatter"};
+        opts.config_hook = [ec](machine::CedarConfig &cfg) {
+            cfg.engine_threads = ec.threads;
+            cfg.engine_partition_map = ec.map;
+        };
+        return runValidation(opts);
+    };
+
+    ValidationReport base = runWith(engines[0]);
+    ASSERT_EQ(base.ran, 3u);
+    EXPECT_EQ(base.failed, 0u) << base.logText();
+    const std::string base_json = base.jsonReport().dump(2);
+    const std::string base_log = base.logText();
+    for (std::size_t i = 1; i < std::size(engines); ++i) {
+        ValidationReport r = runWith(engines[i]);
+        EXPECT_EQ(r.jsonReport().dump(2), base_json)
+            << "engine_threads=" << engines[i].threads << " map="
+            << engines[i].map;
+        EXPECT_EQ(r.logText(), base_log)
+            << "engine_threads=" << engines[i].threads << " map="
+            << engines[i].map;
+        EXPECT_EQ(r.exitCode(), 0);
+    }
 }
 
 TEST(ScenarioContext, InjectedRegressionMovesACheckedCell)
