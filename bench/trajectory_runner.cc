@@ -185,6 +185,31 @@ allProbes(unsigned sweep_jobs)
              return warm > 0.0 ? cold / warm : 0.0;
          }});
 
+    // The scale ceiling: a 256-cluster (2048-port) machine serving
+    // uniform synthetic traffic. Covers construction, routing, and
+    // reply traversal at 32x the paper's machine; the value is
+    // simulated packets per host second, so a change that makes the
+    // big fabrics slow to build or route trips here even though every
+    // golden cell (which pins simulated time only) stays green.
+    probes.push_back(
+        {"scale.ppt256_rate", true, 2, [] {
+             auto once = [] {
+                 machine::CedarMachine m(
+                     machine::CedarConfig::scaled(256));
+                 net::TrafficParams p;
+                 p.rounds = 4;
+                 return net::runTraffic(m.sim(), m.gm().forwardNet(),
+                                        m.gm().reverseNet(), p);
+             };
+             once(); // warm the allocator and page cache
+             double packets = 0.0;
+             double secs = timedSeconds([&] {
+                 for (int i = 0; i < 3; ++i)
+                     packets += double(once().packets);
+             });
+             return secs > 0.0 ? packets / secs : 0.0;
+         }});
+
     for (const char *sweep : {"table1_rank64", "ppt4_scalability",
                               "ppt5_scaled", "ablation_network"}) {
         probes.push_back(

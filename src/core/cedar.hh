@@ -13,7 +13,8 @@
  *
  * Layers, bottom up:
  *   sim/      discrete-event engine, statistics, logging
- *   net/      omega networks of 8x8 crossbars, Lawrie tag routing
+ *   net/      interconnect topologies (omega, fat tree, crossbar)
+ *             and synthetic traffic generation
  *   mem/      interleaved global memory, Test-And-Operate sync
  *   prefetch/ per-CE prefetch units
  *   cluster/  Alliant FX/8: CEs, shared cache, concurrency bus
@@ -44,7 +45,11 @@
 #include "method/metrics.hh"
 #include "method/ppt.hh"
 #include "method/stability.hh"
+#include "net/crossbar.hh"
+#include "net/fattree.hh"
 #include "net/omega.hh"
+#include "net/topology.hh"
+#include "net/traffic.hh"
 #include "perfect/model.hh"
 #include "perfect/profile.hh"
 #include "prefetch/pfu.hh"

@@ -82,18 +82,49 @@ struct CedarConfig
                    "double-word interleaving, got " +
                    std::to_string(gm.num_modules));
         }
-        unsigned ports = 1;
-        for (unsigned r : gm.stage_radices) {
-            if (r < 2) {
-                reject("network stage radix must be at least 2, got " +
-                       std::to_string(r));
+        auto exact_power = [](unsigned ports, unsigned base) {
+            unsigned n = 1;
+            while (n < ports)
+                n *= base;
+            return n == ports;
+        };
+        if (gm.topology == "omega") {
+            unsigned ports = 1;
+            for (unsigned r : gm.stage_radices) {
+                if (r < 2) {
+                    reject("network stage radix must be at least 2, "
+                           "got " +
+                           std::to_string(r));
+                }
+                ports *= r;
             }
-            ports *= r;
-        }
-        if (ports != gm.num_ports) {
-            reject("stage radices cover " + std::to_string(ports) +
-                   " ports but num_ports is " +
-                   std::to_string(gm.num_ports));
+            if (ports != gm.num_ports) {
+                reject("stage radices cover " + std::to_string(ports) +
+                       " ports but num_ports is " +
+                       std::to_string(gm.num_ports));
+            }
+        } else if (gm.topology == "fattree") {
+            if (gm.fat_tree_arity == 1) {
+                reject("fat tree arity must be 0 (auto) or at "
+                       "least 2");
+            }
+            if (gm.fat_tree_arity == 0) {
+                if (!exact_power(gm.num_ports, 8) &&
+                    !exact_power(gm.num_ports, 4) &&
+                    !exact_power(gm.num_ports, 2)) {
+                    reject("fat tree auto-arity: " +
+                           std::to_string(gm.num_ports) +
+                           " ports is not a power of 8, 4, or 2");
+                }
+            } else if (!exact_power(gm.num_ports, gm.fat_tree_arity)) {
+                reject(std::to_string(gm.num_ports) +
+                       " ports is not an exact power of fat tree "
+                       "arity " +
+                       std::to_string(gm.fat_tree_arity));
+            }
+        } else if (gm.topology != "crossbar") {
+            reject("unknown topology '" + gm.topology +
+                   "' (expected omega, fattree, or crossbar)");
         }
         if (gm.num_ports != numCes()) {
             reject("global network has " + std::to_string(gm.num_ports) +
@@ -124,6 +155,39 @@ struct CedarConfig
     standard()
     {
         return CedarConfig{};
+    }
+
+    /**
+     * A machine scaled past the paper: @p clusters Alliant FX/8
+     * clusters with ports = CEs and one memory module per port
+     * (rounded down to a power of two for the interleave), connected
+     * by the requested interconnect family. Omega radices decompose
+     * into radix-8 stages with at most one smaller remainder stage,
+     * matching how the paper's 32-port network was built from 8x8
+     * crossbars feeding 4-way switches.
+     */
+    static CedarConfig
+    scaled(unsigned clusters, const std::string &topology = "omega",
+           bool combined_net = false)
+    {
+        CedarConfig cfg;
+        cfg.num_clusters = clusters;
+        cfg.gm.num_ports = clusters * cfg.cluster.num_ces;
+        unsigned modules = 1;
+        while (modules * 2 <= cfg.gm.num_ports)
+            modules *= 2;
+        cfg.gm.num_modules = modules;
+        cfg.gm.topology = topology;
+        cfg.gm.combined_net = combined_net;
+        cfg.gm.stage_radices.clear();
+        unsigned p = cfg.gm.num_ports;
+        while (p > 8 && p % 8 == 0) {
+            cfg.gm.stage_radices.push_back(8);
+            p /= 8;
+        }
+        if (p > 1)
+            cfg.gm.stage_radices.push_back(p);
+        return cfg;
     }
 
     /**
@@ -169,6 +233,14 @@ struct CedarConfig
            << "," << gm.port_queue_words << ";radices=";
         for (std::size_t i = 0; i < gm.stage_radices.size(); ++i)
             os << (i ? "." : "") << gm.stage_radices[i];
+        // Topology knobs join at the end so standard omega machines
+        // keep the fingerprint older checkpoints were stamped with.
+        if (gm.topology != "omega" || gm.combined_net ||
+            gm.fat_tree_arity != 0 || gm.crossbar_arb_cycles != 0) {
+            os << ";topo=" << gm.topology << "," << gm.fat_tree_arity
+               << "," << gm.crossbar_arb_cycles << ","
+               << (gm.combined_net ? 1 : 0);
+        }
         return os.str();
     }
 

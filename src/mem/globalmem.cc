@@ -13,24 +13,37 @@ GlobalMemory::GlobalMemory(const std::string &name,
                            const GlobalMemoryParams &params)
     : Named(name), _params(params)
 {
-    unsigned ports = 1;
-    for (unsigned r : _params.stage_radices)
-        ports *= r;
-    if (ports != _params.num_ports) {
-        fatal("stage radices cover ", ports, " ports but num_ports is ",
-              _params.num_ports);
+    if (_params.topology == "omega") {
+        unsigned ports = 1;
+        for (unsigned r : _params.stage_radices)
+            ports *= r;
+        if (ports != _params.num_ports) {
+            fatal("stage radices cover ", ports,
+                  " ports but num_ports is ", _params.num_ports);
+        }
     }
     if (_params.num_modules == 0 ||
         _params.num_modules > _params.num_ports) {
         fatal("module count ", _params.num_modules,
               " must be in [1, num_ports=", _params.num_ports, "]");
     }
-    _forward = std::make_unique<net::OmegaNetwork>(
-        child("fwd"), _params.stage_radices, _params.hop_latency,
-        _params.word_occupancy, _params.port_queue_words);
-    _reverse = std::make_unique<net::OmegaNetwork>(
-        child("rev"), _params.stage_radices, _params.hop_latency,
-        _params.word_occupancy, _params.port_queue_words);
+    net::TopologyParams net_params;
+    net_params.kind = _params.topology;
+    net_params.num_ports = _params.num_ports;
+    net_params.stage_radices = _params.stage_radices;
+    net_params.fat_tree_arity = _params.fat_tree_arity;
+    net_params.crossbar_arb_cycles = _params.crossbar_arb_cycles;
+    net_params.hop_latency = _params.hop_latency;
+    net_params.word_occupancy = _params.word_occupancy;
+    net_params.port_queue_words = _params.port_queue_words;
+    if (_params.combined_net) {
+        // One fabric carries both directions; _reverse stays null and
+        // reverseNet() aliases the forward network.
+        _forward = net::makeTopology(child("net"), net_params);
+    } else {
+        _forward = net::makeTopology(child("fwd"), net_params);
+        _reverse = net::makeTopology(child("rev"), net_params);
+    }
     _modules.reserve(_params.num_modules);
     for (unsigned m = 0; m < _params.num_modules; ++m) {
         _modules.push_back(std::make_unique<MemoryModule>(
@@ -78,8 +91,8 @@ GlobalMemory::read(unsigned port, Addr addr, Tick issue)
     auto fwd = _forward->traverse(port, mod_port,
                                   _params.read_request_words, issue);
     Tick served = serving(mod).access(fwd.tail_arrival);
-    auto rev = _reverse->traverse(mod_port, port,
-                                  _params.read_response_words, served);
+    auto rev = reverseNet().traverse(mod_port, port,
+                                     _params.read_response_words, served);
     _reads.inc();
     _read_latency.sample(static_cast<double>(rev.head_arrival - issue));
     DPRINTF(GM, issue, "read port=", port, " addr=", addr, " mod=", mod,
@@ -122,7 +135,7 @@ GlobalMemory::sync(unsigned port, Addr addr, const SyncOp &op, Tick issue)
     bool perform = !(_faults && _faults->syncTimeout());
     Tick served = serving(mod).syncAccess(
         fwd.tail_arrival, globalOffset(addr), op, res, perform);
-    auto rev = _reverse->traverse(mod_port, port, 2, served);
+    auto rev = reverseNet().traverse(mod_port, port, 2, served);
     _syncs.inc();
     DPRINTF(Sync, issue, syncOperateName(op.operate), " port=", port,
             " addr=", addr, " old=", res.old_value, " success=",
@@ -151,14 +164,15 @@ GlobalMemory::minReadLatency() const
 {
     return _forward->minLatency() +
            (_params.read_request_words - 1) * _params.word_occupancy +
-           _params.module_access_cycles + _reverse->minLatency();
+           _params.module_access_cycles + reverseNet().minLatency();
 }
 
 void
 GlobalMemory::attachMonitor(MonitorSink *m)
 {
     _forward->attachMonitor(m);
-    _reverse->attachMonitor(m);
+    if (_reverse)
+        _reverse->attachMonitor(m);
     for (auto &mod : _modules)
         mod->attachMonitor(m);
     _spare->attachMonitor(m);
@@ -169,7 +183,8 @@ GlobalMemory::attachFaults(FaultInjector *f)
 {
     _faults = f;
     _forward->attachFaults(f);
-    _reverse->attachFaults(f);
+    if (_reverse)
+        _reverse->attachFaults(f);
     for (auto &mod : _modules)
         mod->attachFaults(f);
     _spare->attachFaults(f);
@@ -183,7 +198,8 @@ GlobalMemory::registerStats(StatRegistry &reg)
     reg.addCounter(child("syncs"), _syncs);
     reg.addSample(child("read_latency"), _read_latency);
     _forward->registerStats(reg);
-    _reverse->registerStats(reg);
+    if (_reverse)
+        _reverse->registerStats(reg);
     for (auto &mod : _modules)
         mod->registerStats(reg);
     _spare->registerStats(reg);
@@ -193,7 +209,8 @@ void
 GlobalMemory::resetStats()
 {
     _forward->resetStats();
-    _reverse->resetStats();
+    if (_reverse)
+        _reverse->resetStats();
     for (auto &m : _modules)
         m->resetStats();
     _spare->resetStats();
@@ -213,7 +230,8 @@ GlobalMemory::saveState(CheckpointWriter &w) const
     sec.sample("read_latency", _read_latency);
     sec.i64("failed_module", _failed_module);
     _forward->saveState(w);
-    _reverse->saveState(w);
+    if (_reverse)
+        _reverse->saveState(w);
     for (const auto &m : _modules)
         m->saveState(w);
     _spare->saveState(w);
@@ -237,7 +255,8 @@ GlobalMemory::restoreState(const CheckpointReader &r)
     }
     _failed_module = static_cast<int>(failed);
     _forward->restoreState(r);
-    _reverse->restoreState(r);
+    if (_reverse)
+        _reverse->restoreState(r);
     for (auto &m : _modules)
         m->restoreState(r);
     _spare->restoreState(r);

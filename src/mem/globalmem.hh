@@ -1,10 +1,12 @@
 /**
  * @file
  * The Cedar global memory system: interleaved memory modules reached
- * through a forward omega network, with responses returning through an
- * independent reverse omega network. This component owns all three and
- * provides the timed read/write/sync interface the processors (and
- * prefetch units) use.
+ * through a forward interconnect, with responses returning through an
+ * independent reverse interconnect (or, in the combined variant, back
+ * through the same fabric). Cedar as built used two omega networks;
+ * the scaled machines select any Topology family. This component owns
+ * the fabrics and modules and provides the timed read/write/sync
+ * interface the processors (and prefetch units) use.
  */
 
 #ifndef CEDARSIM_MEM_GLOBALMEM_HH
@@ -16,7 +18,7 @@
 #include "mem/address.hh"
 #include "mem/module.hh"
 #include "mem/syncops.hh"
-#include "net/omega.hh"
+#include "net/topology.hh"
 #include "sim/fault.hh"
 #include "sim/named.hh"
 #include "sim/stats.hh"
@@ -52,6 +54,18 @@ struct GlobalMemoryParams
     /** Per-port network queue capacity in words (Cedar's switches
      *  buffer two words; 0 = unbounded). */
     unsigned port_queue_words = 2;
+    /** Interconnect family: "omega", "fattree", or "crossbar". For
+     *  omega the stage radices define the shape; the other families
+     *  take their shape from num_ports. */
+    std::string topology = "omega";
+    /** Fat tree switch arity (0 = largest of 8/4/2 that fits). */
+    unsigned fat_tree_arity = 0;
+    /** Crossbar: fixed arbitration cycles paid per packet. */
+    Cycles crossbar_arb_cycles = 0;
+    /** Route responses back through the forward fabric (one combined
+     *  network carrying both directions) instead of a dedicated
+     *  reverse network. */
+    bool combined_net = false;
 };
 
 /** Timed outcome of a global memory operation. */
@@ -112,8 +126,21 @@ class GlobalMemory : public Named, public Checkpointable
     unsigned numPorts() const { return _params.num_ports; }
     unsigned numModules() const { return _params.num_modules; }
 
-    const net::OmegaNetwork &forwardNet() const { return *_forward; }
-    const net::OmegaNetwork &reverseNet() const { return *_reverse; }
+    const net::Topology &forwardNet() const { return *_forward; }
+    net::Topology &forwardNet() { return *_forward; }
+
+    /** The response fabric: the forward network itself when combined. */
+    const net::Topology &
+    reverseNet() const
+    {
+        return _reverse ? *_reverse : *_forward;
+    }
+
+    net::Topology &reverseNet() { return _reverse ? *_reverse : *_forward; }
+
+    /** True when requests and responses share one combined fabric. */
+    bool combinedNet() const { return _reverse == nullptr; }
+
     const MemoryModule &module(unsigned m) const { return *_modules.at(m); }
     const MemoryModule &spareModule() const { return *_spare; }
 
@@ -172,8 +199,9 @@ class GlobalMemory : public Named, public Checkpointable
     }
 
     GlobalMemoryParams _params;
-    std::unique_ptr<net::OmegaNetwork> _forward;
-    std::unique_ptr<net::OmegaNetwork> _reverse;
+    std::unique_ptr<net::Topology> _forward;
+    /** Null when combined_net: responses ride the forward fabric. */
+    std::unique_ptr<net::Topology> _reverse;
     std::vector<std::unique_ptr<MemoryModule>> _modules;
     /** Hot spare that takes over a failed module's address slice. */
     std::unique_ptr<MemoryModule> _spare;

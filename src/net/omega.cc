@@ -1,19 +1,27 @@
 /**
  * @file
- * Topology, routing, and reservation timing for the omega network.
+ * Topology and Lawrie tag routing for the omega network.
  */
 
 #include "omega.hh"
 
 #include "sim/error.hh"
-#include "sim/trace.hh"
 
 namespace cedar::net {
 
 namespace {
 
-/** Cycles the receiver needs to check ECC and request a retransmit. */
-constexpr Cycles ecc_check_cycles = 2;
+unsigned
+productOfRadices(const std::vector<unsigned> &radices)
+{
+    sim_assert(!radices.empty(), "network needs at least one stage");
+    unsigned ports = 1;
+    for (unsigned r : radices) {
+        sim_assert(r >= 2, "stage radix must be at least 2, got ", r);
+        ports *= r;
+    }
+    return ports;
+}
 
 } // namespace
 
@@ -21,34 +29,22 @@ OmegaNetwork::OmegaNetwork(const std::string &name,
                            std::vector<unsigned> stage_radices,
                            Cycles hop_latency, Cycles word_occupancy,
                            unsigned port_queue_words)
-    : Named(name),
-      _radices(std::move(stage_radices)),
-      _hop_latency(hop_latency),
-      _word_occupancy(word_occupancy)
+    : Topology(name, productOfRadices(stage_radices), hop_latency,
+               word_occupancy),
+      _radices(std::move(stage_radices))
 {
-    sim_assert(!_radices.empty(), "network needs at least one stage");
-    unsigned ports = 1;
-    for (unsigned r : _radices) {
-        sim_assert(r >= 2, "stage radix must be at least 2, got ", r);
-        ports *= r;
-    }
-    _num_ports = ports;
-    _stages.reserve(_radices.size());
-    for (std::size_t s = 0; s < _radices.size(); ++s) {
-        _stages.emplace_back(_num_ports,
-                             LinkPort(_word_occupancy, port_queue_words));
-    }
+    initStages(static_cast<unsigned>(_radices.size()), port_queue_words);
 }
 
 std::vector<unsigned>
 OmegaNetwork::routingTag(unsigned dest) const
 {
-    sim_assert(dest < _num_ports, "destination ", dest, " out of range");
+    sim_assert(dest < numPorts(), "destination ", dest, " out of range");
     // Mixed-radix decomposition, most significant digit first: the digit
     // consumed at stage i has weight equal to the product of the radices
     // of all later stages.
     std::vector<unsigned> tag(_radices.size());
-    unsigned weight = _num_ports;
+    unsigned weight = numPorts();
     for (std::size_t i = 0; i < _radices.size(); ++i) {
         weight /= _radices[i];
         tag[i] = (dest / weight) % _radices[i];
@@ -59,16 +55,17 @@ OmegaNetwork::routingTag(unsigned dest) const
 std::vector<std::pair<unsigned, unsigned>>
 OmegaNetwork::path(unsigned in_port, unsigned dest) const
 {
-    sim_assert(in_port < _num_ports, "input port ", in_port,
+    sim_assert(in_port < numPorts(), "input port ", in_port,
                " out of range");
     std::vector<unsigned> tag = routingTag(dest);
     std::vector<std::pair<unsigned, unsigned>> hops;
     hops.reserve(_radices.size());
     unsigned c = in_port;
+    unsigned n = numPorts();
     for (std::size_t s = 0; s < _radices.size(); ++s) {
         unsigned r = _radices[s];
         // Generalized perfect shuffle of the wire index into this stage.
-        c = (c * r) % _num_ports + (c * r) / _num_ports;
+        c = (c * r) % n + (c * r) / n;
         unsigned sw = c / r;
         // The tag digit selects the switch output (Lawrie tag control).
         c = sw * r + tag[s];
@@ -77,141 +74,6 @@ OmegaNetwork::path(unsigned in_port, unsigned dest) const
     sim_assert(c == dest, "routing did not terminate at destination: got ",
                c, " expected ", dest);
     return hops;
-}
-
-TraversalResult
-OmegaNetwork::traverseOnce(unsigned in_port, unsigned dest,
-                           unsigned words, Tick inject)
-{
-    Tick t = inject;
-    Cycles queueing = 0;
-    for (auto [stage, idx] : path(in_port, dest)) {
-        LinkPort &port = _stages[stage][idx];
-        // Flow control: a bounded downstream queue holds the head
-        // upstream until it has room. Entry can be delayed at most to
-        // the port's busy horizon, so the start tick — and therefore
-        // end-to-end timing — is unchanged; only where the wait is
-        // spent (and who observes it) moves.
-        Tick entry = std::max(t, port.entryFree());
-        if (entry > t)
-            _backpressure.inc();
-        Tick start = port.acquire(entry, words);
-        queueing += start - t;
-        t = start + _hop_latency;
-    }
-    return TraversalResult{t, t + (words - 1) * _word_occupancy, queueing};
-}
-
-TraversalResult
-OmegaNetwork::traverse(unsigned in_port, unsigned dest, unsigned words,
-                       Tick inject)
-{
-    sim_assert(words >= 1 && words <= 4,
-               "Cedar packets are one to four words, got ", words);
-    TraversalResult res = traverseOnce(in_port, dest, words, inject);
-    Cycles queueing = res.queueing;
-    if (_faults) {
-        // Each attempt rolls for in-flight corruption; the receiver's
-        // ECC check detects it after the tail lands and the source
-        // retransmits, re-reserving every port on the path (real extra
-        // traffic, visible in contention stats).
-        unsigned attempts = 0;
-        while (_faults->corruptPacket()) {
-            if (++attempts > _faults->spec().net_retry_limit) {
-                throw SimError(
-                    SimError::Kind::fault, name(), inject,
-                    "packet " + std::to_string(in_port) + "->" +
-                        std::to_string(dest) + " exceeded " +
-                        std::to_string(_faults->spec().net_retry_limit) +
-                        " retransmissions (unrecoverable corruption)");
-            }
-            _retransmits.inc();
-            Tick retry = res.tail_arrival + ecc_check_cycles;
-            res = traverseOnce(in_port, dest, words, retry);
-            // The whole replay (ECC check + full re-transit) is delay
-            // caused by the fault: charge it as queueing so degradation
-            // shows where Cedar's hardware monitor would have seen it.
-            queueing += ecc_check_cycles + (res.head_arrival - retry);
-        }
-        res.queueing = queueing;
-    }
-    _queueing.sample(static_cast<double>(queueing));
-    if (_monitor) {
-        _monitor->record(inject, Signal::net_enqueue, words);
-        _monitor->record(res.head_arrival, Signal::net_dequeue,
-                         static_cast<std::int64_t>(queueing));
-    }
-    DPRINTF(Net, inject, "packet ", in_port, "->", dest, " words=",
-            words, " queueing=", queueing, " head_at=", res.head_arrival);
-    return res;
-}
-
-void
-OmegaNetwork::registerStats(StatRegistry &reg)
-{
-    reg.addSample(child("queueing"), _queueing);
-    reg.addScalar(child("delivered_words"), [this] {
-        return static_cast<double>(deliveredWords());
-    });
-    reg.addScalar(child("busy_cycles"), [this] {
-        Tick busy = 0;
-        for (const LinkPort &p : _stages.back())
-            busy += p.busyCycles();
-        return static_cast<double>(busy);
-    });
-    reg.addCounter(child("retransmits"), _retransmits);
-    reg.addCounter(child("backpressure_stalls"), _backpressure);
-}
-
-std::uint64_t
-OmegaNetwork::deliveredWords() const
-{
-    std::uint64_t total = 0;
-    for (const LinkPort &p : _stages.back())
-        total += p.wordCount();
-    return total;
-}
-
-void
-OmegaNetwork::resetStats()
-{
-    for (auto &stage : _stages)
-        for (auto &p : stage)
-            p.resetStats();
-    _queueing.reset();
-    _retransmits.reset();
-    _backpressure.reset();
-}
-
-void
-OmegaNetwork::saveState(CheckpointWriter &w) const
-{
-    auto &sec = w.section(name());
-    sec.sample("queueing", _queueing);
-    sec.counter("retransmits", _retransmits);
-    sec.counter("backpressure_stalls", _backpressure);
-    for (std::size_t s = 0; s < _stages.size(); ++s) {
-        for (std::size_t p = 0; p < _stages[s].size(); ++p) {
-            _stages[s][p].saveFields(sec, "s" + std::to_string(s) +
-                                              ".p" + std::to_string(p));
-        }
-    }
-}
-
-void
-OmegaNetwork::restoreState(const CheckpointReader &r)
-{
-    const auto &sec = r.section(name());
-    sec.sample("queueing", _queueing);
-    sec.counter("retransmits", _retransmits);
-    sec.counter("backpressure_stalls", _backpressure);
-    for (std::size_t s = 0; s < _stages.size(); ++s) {
-        for (std::size_t p = 0; p < _stages[s].size(); ++p) {
-            _stages[s][p].restoreFields(sec, "s" + std::to_string(s) +
-                                                 ".p" +
-                                                 std::to_string(p));
-        }
-    }
 }
 
 } // namespace cedar::net

@@ -16,7 +16,8 @@
  * word-occupancy per packet word. Injections must be presented in
  * nondecreasing time order (the event queue guarantees this), which
  * makes the model causally exact for latency, interarrival, and
- * sustained-bandwidth statistics.
+ * sustained-bandwidth statistics. The timing machinery is shared with
+ * every other fabric through the Topology base class.
  */
 
 #ifndef CEDARSIM_NET_OMEGA_HH
@@ -26,33 +27,15 @@
 #include <utility>
 #include <vector>
 
-#include "net/port.hh"
-#include "sim/checkpoint.hh"
-#include "sim/fault.hh"
-#include "sim/named.hh"
-#include "sim/probes.hh"
-#include "sim/statreg.hh"
-#include "sim/stats.hh"
-#include "sim/types.hh"
+#include "net/topology.hh"
 
 namespace cedar::net {
-
-/** Result of sending one packet through the network. */
-struct TraversalResult
-{
-    /** Tick at which the packet head arrives at the output port. */
-    Tick head_arrival;
-    /** Tick at which the packet tail has fully arrived. */
-    Tick tail_arrival;
-    /** Total cycles spent queueing (contention) along the path. */
-    Cycles queueing;
-};
 
 /**
  * A unidirectional multistage network (Cedar has two: forward to the
  * memory modules and reverse back to the processors).
  */
-class OmegaNetwork : public Named, public Checkpointable
+class OmegaNetwork : public Topology
 {
   public:
     /**
@@ -68,14 +51,7 @@ class OmegaNetwork : public Named, public Checkpointable
                  std::vector<unsigned> stage_radices, Cycles hop_latency,
                  Cycles word_occupancy, unsigned port_queue_words = 2);
 
-    /** Number of input (= output) ports. */
-    unsigned numPorts() const { return _num_ports; }
-
-    /** Number of stages. */
-    unsigned numStages() const
-    {
-        return static_cast<unsigned>(_radices.size());
-    }
+    const char *kindName() const override { return "omega"; }
 
     /** Radix of stage @p s. */
     unsigned stageRadix(unsigned s) const { return _radices.at(s); }
@@ -86,87 +62,18 @@ class OmegaNetwork : public Named, public Checkpointable
      */
     std::vector<unsigned> routingTag(unsigned dest) const;
 
-    /**
-     * The (stage, output-port-index) pairs a packet visits from
-     * @p in_port to @p dest. Pure topology; no timing side effects.
-     */
     std::vector<std::pair<unsigned, unsigned>>
-    path(unsigned in_port, unsigned dest) const;
+    path(unsigned in_port, unsigned dest) const override;
 
-    /**
-     * Send one packet through the network, reserving every output port
-     * along the path.
-     *
-     * @param in_port injecting input port
-     * @param dest    destination output port
-     * @param words   packet length in 64-bit words (1..4 on Cedar)
-     * @param inject  tick at which the packet head enters the network
-     */
-    TraversalResult traverse(unsigned in_port, unsigned dest,
-                             unsigned words, Tick inject);
-
-    /** Minimum (uncontended) head latency through the network. */
+    /** One hop latency per stage, uniform over all port pairs. */
     Cycles
-    minLatency() const
+    minLatency() const override
     {
-        return _hop_latency * numStages();
+        return hopLatency() * numStages();
     }
-
-    /** Port object, for tests and utilization reports. */
-    const LinkPort &port(unsigned stage, unsigned index) const
-    {
-        return _stages.at(stage).at(index);
-    }
-
-    /** Aggregate words moved through the final stage (delivered). */
-    std::uint64_t deliveredWords() const;
-
-    /** End-to-end queueing distribution across all packets. */
-    const SampleStat &queueingStat() const { return _queueing; }
-
-    /** Packets retransmitted after in-flight corruption was detected. */
-    std::uint64_t retransmits() const { return _retransmits.value(); }
-
-    /** Hops where a full downstream port queue held the head upstream. */
-    std::uint64_t backpressureStalls() const
-    {
-        return _backpressure.value();
-    }
-
-    /** Post port enqueue/dequeue events to @p m (nullptr detaches). */
-    void attachMonitor(MonitorSink *m) { _monitor = m; }
-
-    /**
-     * Attach a fault injector (nullptr detaches): every traversal
-     * rolls for in-flight corruption; corrupted packets are detected
-     * at the receiver (ECC check) and retransmitted from the source.
-     */
-    void attachFaults(FaultInjector *f) { _faults = f; }
-
-    /** Register this network's statistics under its component name. */
-    void registerStats(StatRegistry &reg);
-
-    void resetStats();
-
-    /** Every port's reservation clock and statistics, one section. */
-    void saveState(CheckpointWriter &w) const override;
-    void restoreState(const CheckpointReader &r) override;
 
   private:
-    TraversalResult traverseOnce(unsigned in_port, unsigned dest,
-                                 unsigned words, Tick inject);
-
-    unsigned _num_ports;
     std::vector<unsigned> _radices;
-    Cycles _hop_latency;
-    Cycles _word_occupancy;
-    /** _stages[s][p]: output port p of stage s (p in [0, numPorts)). */
-    std::vector<std::vector<LinkPort>> _stages;
-    SampleStat _queueing;
-    Counter _retransmits;
-    Counter _backpressure;
-    MonitorSink *_monitor = nullptr;
-    FaultInjector *_faults = nullptr;
 };
 
 } // namespace cedar::net

@@ -25,6 +25,9 @@ void registerSec33Restructuring();
 void registerAblationRuntime();
 void registerAblationNetwork();
 void registerSampledRank64();
+void registerTrafficMatrix();
+void registerTrafficScale256();
+void registerScaledParallelism();
 
 void
 registerAllScenarios()
@@ -44,6 +47,9 @@ registerAllScenarios()
     registerAblationRuntime();
     registerAblationNetwork();
     registerSampledRank64();
+    registerTrafficMatrix();
+    registerTrafficScale256();
+    registerScaledParallelism();
 }
 
 } // namespace cedar::valid::detail

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Scenario: 256 clusters — 32x the machine the paper built. A
+ * 2048-port system of every fabric family completes uniform and
+ * hot-spot traffic under the liveness watchdog; the latency cells are
+ * drift tripwires (the paper has no numbers out here) and the
+ * completion/conservation facts are exact property cells. This is the
+ * scale ceiling of the golden battery: if a latent small-machine
+ * assumption creeps back into the address map, the partition map, or
+ * a topology's routing, this scenario is where it dies.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cedar.hh"
+#include "exec/parallel.hh"
+#include "valid/scenario.hh"
+
+namespace cedar::valid {
+
+namespace {
+
+struct FabricVariant
+{
+    const char *label;
+    const char *topology;
+    bool combined;
+};
+
+constexpr FabricVariant fabric_variants[] = {
+    {"omega", "omega", false},
+    {"fattree", "fattree", false},
+    {"crossbar", "crossbar", false},
+    {"combined", "omega", true},
+};
+
+constexpr unsigned scale_clusters = 256;
+constexpr unsigned scale_ports = scale_clusters * 8;
+constexpr unsigned rounds = 6;
+
+struct TrafficPoint
+{
+    double mean_latency = 0.0;
+    double max_latency = 0.0;
+    double floor = 0.0;
+    unsigned packets = 0;
+    unsigned delivered = 0;
+    Tick makespan = 0;
+};
+
+TrafficPoint
+runPoint(const ScenarioContext &ctx, const FabricVariant &fabric,
+         net::TrafficPattern pattern)
+{
+    auto cfg = machine::CedarConfig::scaled(scale_clusters,
+                                            fabric.topology,
+                                            fabric.combined);
+    ctx.tune(cfg);
+    machine::CedarMachine machine(cfg);
+    net::TrafficParams params;
+    params.pattern = pattern;
+    params.rounds = rounds;
+    auto res = net::runTraffic(machine.sim(), machine.gm().forwardNet(),
+                               machine.gm().reverseNet(), params);
+    TrafficPoint point;
+    point.mean_latency = res.mean_latency;
+    point.max_latency = res.max_latency;
+    point.floor =
+        static_cast<double>(machine.gm().forwardNet().minLatency() +
+                            machine.gm().reverseNet().minLatency());
+    point.packets = res.packets;
+    point.delivered = res.delivered_words;
+    point.makespan = res.makespan;
+    return point;
+}
+
+void
+runTrafficScale256(ScenarioContext &ctx)
+{
+    std::printf("256-cluster study: 2048 ports, every fabric family\n");
+    std::printf("(%u rounds of request+reply traffic under the "
+                "watchdog)\n\n",
+                rounds);
+
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const net::TrafficPattern patterns[] = {
+        net::TrafficPattern::uniform, net::TrafficPattern::hot_spot};
+
+    struct PointKey
+    {
+        const FabricVariant *fabric;
+        net::TrafficPattern pattern;
+    };
+    std::vector<PointKey> keys;
+    std::vector<std::function<TrafficPoint(exec::RunContext &)>> tasks;
+    for (const auto &fabric : fabric_variants) {
+        for (net::TrafficPattern pattern : patterns) {
+            keys.push_back({&fabric, pattern});
+            tasks.push_back([&ctx, &fabric, pattern](exec::RunContext &) {
+                return runPoint(ctx, fabric, pattern);
+            });
+        }
+    }
+    auto points =
+        exec::parallelMap<TrafficPoint>(ctx.jobs(), std::move(tasks));
+
+    core::TableWriter table({"fabric", "pattern", "mean lat", "max lat",
+                             "floor", "makespan"});
+    bool conserved = true, floored = true, completed = true;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto &k = keys[i];
+        const auto &p = points[i];
+        // The combined fabric carries both directions, so its forward
+        // delivery count includes the responses too.
+        conserved = conserved &&
+                    p.delivered ==
+                        p.packets * (k.fabric->combined ? 2u : 1u);
+        floored = floored && p.mean_latency >= p.floor;
+        completed = completed && p.packets == rounds * scale_ports;
+        table.row({k.fabric->label, net::trafficPatternName(k.pattern),
+                   core::fmt(p.mean_latency, 3),
+                   core::fmt(p.max_latency, 0), core::fmt(p.floor, 0),
+                   core::fmt(static_cast<double>(p.makespan), 0)});
+        std::string key = std::string(k.fabric->label) + "_" +
+                          net::trafficPatternName(k.pattern) + "_lat";
+        ctx.cell(key, p.mean_latency,
+                 {nan, 0.0, 1e-6,
+                  "mean latency at 2048 ports (floor " +
+                      core::fmt(p.floor, 0) +
+                      "; tolerance auto-derived from determinism)"});
+    }
+    table.print();
+
+    ctx.cell("all_fabrics_complete", completed ? 1.0 : 0.0,
+             {1.0, 0.0, 0.0,
+              "a 32x-scale machine finishes every pattern under the "
+              "watchdog"});
+    ctx.cell("packet_conservation", conserved ? 1.0 : 0.0,
+             {1.0, 0.0, 0.0, "every injected packet delivered at 32x"});
+    ctx.cell("latency_floor_respected", floored ? 1.0 : 0.0,
+             {1.0, 0.0, 0.0,
+              "minLatency() stays a true floor at 2048 ports"});
+
+    std::printf(
+        "\nreading: the machine the paper could only speculate about "
+        "builds, routes, and\nterminates — hot-spot traffic serializes "
+        "on the one delivery link exactly as the\nfabric contracts "
+        "predict, and nothing deadlocks at 32x the published scale.\n");
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerTrafficScale256()
+{
+    registerScenario({"traffic_scale256",
+                      "256-cluster traffic (32x the paper)", true,
+                      runTrafficScale256});
+}
+
+} // namespace detail
+
+} // namespace cedar::valid

@@ -151,6 +151,15 @@ knobs()
          [](machine::CedarConfig &c, double v) {
              c.cluster.cmem.latency = Cycles(v);
          }},
+        {"gm.crossbar_arb_extra",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.crossbar_arb_cycles =
+                 c.gm.crossbar_arb_cycles + Cycles(v);
+         }},
+        {"gm.fat_tree_arity",
+         [](machine::CedarConfig &c, double v) {
+             c.gm.fat_tree_arity = unsigned(v);
+         }},
     };
     return k;
 }

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Property battery for the interconnect topology families: routing
+ * uniqueness and self-routing, packet conservation, the min-latency
+ * floor (the PDES lookahead contract), and bisection sanity, over
+ * multiple shape points per family — mirroring the omega invariants
+ * test_net.cc has always pinned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mem/globalmem.hh"
+#include "net/crossbar.hh"
+#include "net/fattree.hh"
+#include "net/omega.hh"
+#include "net/topology.hh"
+#include "sim/error.hh"
+#include "sim/random.hh"
+
+using namespace cedar;
+using net::CrossbarNetwork;
+using net::FatTreeNetwork;
+using net::OmegaNetwork;
+using net::Topology;
+using net::TopologyParams;
+
+namespace {
+
+/** One topology instance under test, with a human-readable label. */
+struct Shape
+{
+    std::string label;
+    std::unique_ptr<Topology> net;
+};
+
+/** >= 5 shape points per family, small enough for all-pairs sweeps. */
+std::vector<Shape>
+allShapes()
+{
+    std::vector<Shape> shapes;
+    auto omega = [&](std::vector<unsigned> radices) {
+        std::string label = "omega";
+        for (unsigned r : radices)
+            label += "." + std::to_string(r);
+        shapes.push_back(
+            {label, std::make_unique<OmegaNetwork>(label, radices, 1, 1)});
+    };
+    omega({8, 4});
+    omega({4, 8});
+    omega({8, 8});
+    omega({2, 2, 2});
+    omega({16});
+    omega({4, 4, 4});
+    auto fattree = [&](unsigned ports, unsigned arity) {
+        std::string label = "fattree." + std::to_string(ports) + "x" +
+                            std::to_string(arity);
+        shapes.push_back({label, std::make_unique<FatTreeNetwork>(
+                                     label, ports, arity, 1, 1)});
+    };
+    fattree(8, 2);
+    fattree(16, 4);
+    fattree(16, 2);
+    fattree(64, 8);
+    fattree(64, 4);
+    fattree(256, 4);
+    auto crossbar = [&](unsigned ports) {
+        std::string label = "crossbar." + std::to_string(ports);
+        shapes.push_back({label, std::make_unique<CrossbarNetwork>(
+                                     label, ports, 1, 1)});
+    };
+    crossbar(8);
+    crossbar(16);
+    crossbar(32);
+    crossbar(100); // crossbars do not need power-of-two port counts
+    crossbar(256);
+    return shapes;
+}
+
+} // namespace
+
+// Every path must terminate at its destination on the final stage
+// (self-routing), and for a fixed destination every source must
+// converge on the same delivery link (routing uniqueness).
+TEST(Topology, SelfRoutingAndDeliveryUniqueness)
+{
+    for (const Shape &s : allShapes()) {
+        SCOPED_TRACE(s.label);
+        unsigned n = s.net->numPorts();
+        for (unsigned dest = 0; dest < n; ++dest) {
+            for (unsigned src = 0; src < n; ++src) {
+                auto hops = s.net->path(src, dest);
+                ASSERT_FALSE(hops.empty());
+                EXPECT_EQ(hops.back().first, s.net->numStages() - 1);
+                EXPECT_EQ(hops.back().second, dest);
+                // Stages are visited in strictly increasing order, so
+                // no path can loop through a link twice.
+                for (std::size_t h = 1; h < hops.size(); ++h)
+                    EXPECT_LT(hops[h - 1].first, hops[h].first);
+            }
+        }
+    }
+}
+
+// For any fixed (src, dest) the path is a pure function — two calls
+// agree — and distinct destinations from one source never share their
+// delivery link.
+TEST(Topology, PathsAreDeterministic)
+{
+    for (const Shape &s : allShapes()) {
+        SCOPED_TRACE(s.label);
+        unsigned n = s.net->numPorts();
+        for (unsigned dest = 0; dest < n; dest += 3) {
+            EXPECT_EQ(s.net->path(1 % n, dest), s.net->path(1 % n, dest));
+        }
+    }
+}
+
+// Words injected must equal words counted at the delivery stage: no
+// packet is dropped or duplicated by any routing function.
+TEST(Topology, PacketConservation)
+{
+    for (const Shape &s : allShapes()) {
+        SCOPED_TRACE(s.label);
+        unsigned n = s.net->numPorts();
+        Rng rng(0xC0DA + n);
+        std::uint64_t injected = 0;
+        Tick t = 0;
+        for (unsigned i = 0; i < 200; ++i) {
+            unsigned src = static_cast<unsigned>(rng.below(n));
+            unsigned dest = static_cast<unsigned>(rng.below(n));
+            unsigned words = 1 + static_cast<unsigned>(rng.below(4));
+            s.net->traverse(src, dest, words, t);
+            injected += words;
+            t += 2; // nondecreasing injection order
+        }
+        EXPECT_EQ(s.net->deliveredWords(), injected);
+    }
+}
+
+// minLatency() must be a true lower bound over every port pair — the
+// PDES coordinator uses it as conservative channel lookahead — and it
+// must be achieved by at least one pair (it is a floor, not padding).
+TEST(Topology, MinLatencyIsAnAchievedFloor)
+{
+    for (const Shape &s : allShapes()) {
+        SCOPED_TRACE(s.label);
+        unsigned n = s.net->numPorts();
+        Cycles floor = s.net->minLatency();
+        bool achieved = false;
+        Tick t = 0;
+        for (unsigned src = 0; src < n; ++src) {
+            for (unsigned dest = 0; dest < n; ++dest) {
+                // Spacing the injections far apart keeps every port
+                // idle, so each traversal sees an empty network.
+                t += 64;
+                auto res = s.net->traverse(src, dest, 1, t);
+                Cycles latency = res.head_arrival - t;
+                EXPECT_GE(latency, floor) << src << "->" << dest;
+                EXPECT_EQ(res.queueing, 0u) << src << "->" << dest;
+                achieved = achieved || latency == floor;
+            }
+        }
+        EXPECT_TRUE(achieved);
+    }
+}
+
+// Bisection sanity: the half-shift permutation (src -> src + N/2)
+// pushes N/2 packets across the machine's midline. Every family here
+// claims full bisection bandwidth, so those paths must be pairwise
+// link-disjoint — injected together they all arrive with zero
+// queueing, and the delivery stage shows N/2 distinct links.
+TEST(Topology, BisectionHalfShiftIsConflictFree)
+{
+    for (const Shape &s : allShapes()) {
+        SCOPED_TRACE(s.label);
+        unsigned n = s.net->numPorts();
+        if (n % 2 != 0)
+            continue; // the 100-port crossbar point is covered below
+        std::set<std::pair<unsigned, unsigned>> links;
+        std::size_t path_links = 0;
+        for (unsigned src = 0; src < n / 2; ++src) {
+            for (auto hop : s.net->path(src, src + n / 2)) {
+                links.insert(hop);
+                ++path_links;
+            }
+            auto res = s.net->traverse(src, src + n / 2, 1, 0);
+            EXPECT_EQ(res.queueing, 0u) << "src " << src;
+        }
+        // Pairwise disjoint: the union is as large as the multiset.
+        EXPECT_EQ(links.size(), path_links);
+    }
+}
+
+// The same permutation on an odd-port crossbar (no midline tricks
+// needed: distinct destinations never share the single stage's links).
+TEST(Topology, OddPortCrossbarPermutationIsConflictFree)
+{
+    CrossbarNetwork net("xbar", 101, 1, 1);
+    for (unsigned src = 0; src < net.numPorts(); ++src) {
+        auto res =
+            net.traverse(src, (src + 50) % net.numPorts(), 1, 0);
+        EXPECT_EQ(res.queueing, 0u);
+    }
+}
+
+TEST(Topology, FatTreeLocalityPaysFewerHops)
+{
+    FatTreeNetwork net("ft", 64, 4, 1, 1);
+    // Same leaf switch: up one level and straight back down.
+    EXPECT_EQ(net.path(0, 1).size(), 2u);
+    // Opposite corners: the full climb to the root.
+    EXPECT_EQ(net.path(0, 63).size(), 2u * net.levels());
+    // A self-packet still transits its leaf switch.
+    EXPECT_EQ(net.path(5, 5).size(), 2u);
+}
+
+TEST(Topology, FatTreeHotSpotCollapsesOntoDeliveryLink)
+{
+    FatTreeNetwork net("ft", 16, 4, 1, 1);
+    // Every source aims at port 3: the delivery link serializes.
+    Tick worst = 0;
+    for (unsigned src = 0; src < 16; ++src) {
+        auto res = net.traverse(src, 3, 1, 0);
+        worst = std::max(worst, res.head_arrival);
+    }
+    EXPECT_GE(worst, Tick(16)); // one word-occupancy each, serialized
+}
+
+TEST(Topology, CrossbarArbitrationDelayIsLatencyNotQueueing)
+{
+    CrossbarNetwork base("x0", 32, 1, 1, 2, 0);
+    CrossbarNetwork arb("x2", 32, 1, 1, 2, 2);
+    EXPECT_EQ(base.minLatency(), 1u);
+    EXPECT_EQ(arb.minLatency(), 3u);
+    auto r0 = base.traverse(4, 9, 1, 100);
+    auto r2 = arb.traverse(4, 9, 1, 100);
+    EXPECT_EQ(r0.head_arrival, 101u);
+    EXPECT_EQ(r2.head_arrival, 103u);
+    EXPECT_EQ(r2.queueing, 0u);
+}
+
+TEST(Topology, FactoryDispatchesByKind)
+{
+    TopologyParams p;
+    p.kind = "omega";
+    p.stage_radices = {8, 4};
+    p.num_ports = 32;
+    EXPECT_STREQ(net::makeTopology("t", p)->kindName(), "omega");
+
+    p.kind = "fattree";
+    p.num_ports = 64;
+    p.fat_tree_arity = 0; // auto resolves to 8
+    auto ft = net::makeTopology("t", p);
+    EXPECT_STREQ(ft->kindName(), "fattree");
+    EXPECT_EQ(static_cast<FatTreeNetwork &>(*ft).arity(), 8u);
+
+    p.kind = "crossbar";
+    p.crossbar_arb_cycles = 1;
+    auto xb = net::makeTopology("t", p);
+    EXPECT_STREQ(xb->kindName(), "crossbar");
+    EXPECT_EQ(xb->minLatency(), 2u);
+}
+
+TEST(Topology, FactoryRejectsImpossibleShapes)
+{
+    auto expect_config_error = [](TopologyParams p) {
+        try {
+            net::makeTopology("t", p);
+            FAIL() << "expected a config SimError";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.kind(), SimError::Kind::config);
+        }
+    };
+    TopologyParams p;
+    p.kind = "torus"; // not implemented
+    expect_config_error(p);
+
+    p = TopologyParams{};
+    p.kind = "omega";
+    p.stage_radices = {8, 4};
+    p.num_ports = 64; // radices cover 32
+    expect_config_error(p);
+
+    p = TopologyParams{};
+    p.kind = "fattree";
+    p.num_ports = 48; // not a power of any arity
+    expect_config_error(p);
+
+    p = TopologyParams{};
+    p.kind = "fattree";
+    p.num_ports = 64;
+    p.fat_tree_arity = 5; // 64 is not a power of 5
+    expect_config_error(p);
+}
+
+// The combined variant routes responses back through the forward
+// fabric: same object, and request/response traffic contend there.
+TEST(Topology, CombinedNetAliasesForwardFabric)
+{
+    mem::GlobalMemoryParams p;
+    p.combined_net = true;
+    mem::GlobalMemory gm("gm", p);
+    EXPECT_TRUE(gm.combinedNet());
+    EXPECT_EQ(&gm.forwardNet(), &gm.reverseNet());
+
+    mem::GlobalMemoryParams split;
+    mem::GlobalMemory gm2("gm2", split);
+    EXPECT_FALSE(gm2.combinedNet());
+    EXPECT_NE(&gm2.forwardNet(), &gm2.reverseNet());
+
+    // Same uncontended round trip: the combined fabric only differs
+    // under load, when both directions queue on the same links.
+    EXPECT_EQ(gm.minReadLatency(), gm2.minReadLatency());
+    auto r = gm.read(3, mem::globalAddr(17), 10);
+    EXPECT_EQ(r.data_at_port, 10 + gm.minReadLatency());
+}
+
+// A topology served through GlobalMemory must keep the checkpoint
+// round trip exact (the port clocks live in the topology base now).
+TEST(Topology, FatTreeGlobalMemoryCheckpointRoundTrips)
+{
+    mem::GlobalMemoryParams p;
+    p.topology = "fattree";
+    mem::GlobalMemory gm("gm", p);
+    for (unsigned i = 0; i < 20; ++i)
+        gm.read(i % gm.numPorts(), mem::globalAddr(3 * i), 10 * i);
+
+    CheckpointWriter w(200);
+    gm.saveState(w);
+    std::string snap = w.finish();
+
+    mem::GlobalMemory fresh("gm", p);
+    CheckpointReader r(snap);
+    fresh.restoreState(r);
+    CheckpointWriter w2(200);
+    fresh.saveState(w2);
+    EXPECT_EQ(snap, w2.finish());
+}

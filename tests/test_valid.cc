@@ -253,11 +253,12 @@ TEST(GoldenFileTest, LoadRejectsMissingAndMalformedFiles)
 TEST(ScenarioRegistry, AllScenariosRegistered)
 {
     const auto &all = allScenarios();
-    // The 14 paper tables/figures plus the sampled-simulation
-    // methodology cell (EXPERIMENTS.md order; sampled_rank64 last).
-    ASSERT_EQ(all.size(), 15u);
+    // The 14 paper tables/figures, the sampled-simulation methodology
+    // cell, and the three beyond-paper scale scenarios (EXPERIMENTS.md
+    // order; the scaled battery last).
+    ASSERT_EQ(all.size(), 18u);
     EXPECT_EQ(all.front().name, "fig12_topology");
-    EXPECT_EQ(all.back().name, "sampled_rank64");
+    EXPECT_EQ(all.back().name, "scaled_parallelism");
     for (const auto &s : all) {
         EXPECT_FALSE(s.title.empty());
         EXPECT_TRUE(s.run != nullptr);
